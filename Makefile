@@ -1,0 +1,20 @@
+# Convenience targets for the Measures-in-SQL reproduction.
+
+.PHONY: test bench report shell examples lint all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m benchmarks.report
+
+shell:
+	python -m repro
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo ok; done
+
+all: test bench report examples

@@ -1,0 +1,95 @@
+"""F03: the conciseness claim (paper sections 3.1 and 5.7).
+
+Measures exist so that queries need no repeated subqueries or self-joins;
+the paper argues this helps humans and LLMs alike.  We quantify it: for a
+set of analytic questions over the retail workload, compare the character
+and token counts of the measure formulation against the plain SQL the
+engine expands it to, and benchmark the expansion itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_db
+from repro.sql.lexer import tokenize
+
+#: (question, measure formulation). The plain-SQL cost is derived by
+#: expansion, guaranteeing both formulations mean the same thing.
+QUESTIONS = [
+    (
+        "margin-by-product",
+        """SELECT prodName, AGGREGATE(margin) AS m FROM eo
+           GROUP BY prodName""",
+    ),
+    (
+        "share-of-total",
+        """SELECT prodName, rev / rev AT (ALL prodName) AS share FROM eo
+           GROUP BY prodName""",
+    ),
+    (
+        "year-over-year",
+        """SELECT prodName, orderYear,
+                  rev / rev AT (SET orderYear = CURRENT orderYear - 1) AS yoy
+           FROM eo GROUP BY prodName, orderYear""",
+    ),
+    (
+        "above-average-orders",
+        """SELECT o.prodName, o.orderDate FROM
+           (SELECT prodName, orderDate, revenue,
+                   AVG(revenue) AS MEASURE avgRev FROM Orders) AS o
+           WHERE o.revenue > o.avgRev AT (WHERE prodName = o.prodName)""",
+    ),
+    (
+        "multi-context-dashboard",
+        """SELECT prodName, orderYear,
+                  AGGREGATE(rev) AS r,
+                  rev AT (ALL orderYear) AS allTime,
+                  rev AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+                  rev / rev AT (ALL prodName) AS share
+           FROM eo GROUP BY prodName, orderYear""",
+    ),
+]
+
+
+def token_count(sql: str) -> int:
+    return len(tokenize(sql)) - 1  # minus EOF
+
+
+@pytest.mark.parametrize("name,sql", QUESTIONS, ids=[n for n, _ in QUESTIONS])
+def test_f03_expansion_cost(benchmark, name, sql):
+    db = workload_db(200)
+    benchmark.group = "F03 expansion time"
+    expanded = benchmark(db.expand, sql)
+    measure_tokens = token_count(sql)
+    plain_tokens = token_count(expanded)
+    print(
+        f"\nF03 {name}: measures={measure_tokens} tokens, "
+        f"expanded SQL={plain_tokens} tokens, "
+        f"ratio={plain_tokens / measure_tokens:.2f}x"
+    )
+    # The measure formulation is never longer, and the dashboard-style
+    # queries are several times shorter (the paper's conciseness claim).
+    assert measure_tokens <= plain_tokens
+
+
+def test_f03_series_summary(benchmark):
+    """One-shot summary across all questions (the figure's data series)."""
+    db = workload_db(200)
+
+    def run():
+        rows = []
+        for name, sql in QUESTIONS:
+            expanded = db.expand(sql)
+            rows.append((name, token_count(sql), token_count(expanded)))
+        return rows
+
+    rows = benchmark(run)
+    print("\nF03 conciseness series (question, measure tokens, plain tokens):")
+    total_ratio = 1.0
+    for name, m, p in rows:
+        print(f"  {name:25s} {m:4d} {p:5d}  ({p / m:.2f}x)")
+        total_ratio *= p / m
+    geomean = total_ratio ** (1 / len(rows))
+    print(f"  geometric-mean blowup of plain SQL: {geomean:.2f}x")
+    assert geomean > 1.5  # plain SQL is substantially longer on average

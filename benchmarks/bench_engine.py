@@ -1,0 +1,106 @@
+"""A03: engine baselines — scan, filter, aggregate, join, window, sort
+throughput versus row count.
+
+These situate every other benchmark: the substrate is a pure-Python
+interpreter, so absolute numbers are far from the paper's BigQuery-backed
+deployment, but relative shapes (who wins, how costs scale) are meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_db
+
+SIZES = [500, 2000, 8000]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_scan(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(db.execute, "SELECT prodName, revenue FROM Orders")
+    assert len(result.rows) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_filter(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute, "SELECT prodName FROM Orders WHERE revenue > 200 AND cost < 300"
+    )
+    assert result.rowcount <= size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_group_by(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        """SELECT prodName, COUNT(*), SUM(revenue), AVG(cost)
+           FROM Orders GROUP BY prodName""",
+    )
+    assert len(result.rows) == 20
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_join(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        """SELECT o.prodName, SUM(o.revenue) FROM Orders AS o
+           JOIN Customers AS c ON o.custName = c.custName
+           WHERE c.custAge > 40 GROUP BY o.prodName""",
+    )
+    assert len(result.rows) <= 20
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_sort(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        "SELECT prodName, revenue FROM Orders ORDER BY revenue DESC, prodName LIMIT 25",
+    )
+    assert len(result.rows) == 25
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_window(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        """SELECT prodName, revenue,
+                  ROW_NUMBER() OVER (PARTITION BY prodName ORDER BY revenue DESC)
+           FROM Orders""",
+    )
+    assert len(result.rows) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_rollup(benchmark, size):
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        """SELECT prodName, YEAR(orderDate), SUM(revenue) FROM Orders
+           GROUP BY ROLLUP(prodName, YEAR(orderDate))""",
+    )
+    assert len(result.rows) > 20
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a03_measure_group_by(benchmark, size):
+    """Measure evaluation at aggregate sites relative to plain GROUP BY."""
+    db = workload_db(size)
+    benchmark.group = f"A03 n={size}"
+    result = benchmark(
+        db.execute,
+        "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName",
+    )
+    assert len(result.rows) == 20

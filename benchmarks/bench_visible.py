@@ -1,0 +1,89 @@
+"""F04: the cost of VISIBLE semantics across joins (DESIGN.md section 5).
+
+Listing 9's semantics — visible averages deduplicated at the measure's
+grain — require a semijoin between candidate source rows and the group's
+joined rows.  This family measures that cost against the two cheaper
+aggregations the paper contrasts it with (weighted SQL AVG and the
+unweighted default context), across workload sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads import WorkloadConfig, load_workload
+
+SIZES = [200, 800, 2400]
+
+VARIANTS = {
+    "weighted-avg": """
+        SELECT o.prodName, AVG(c.custAge) AS v
+        FROM Orders AS o JOIN ec AS c USING (custName)
+        WHERE c.custAge >= 30 GROUP BY o.prodName""",
+    "unweighted-default": """
+        SELECT o.prodName, c.avgAge AS v
+        FROM Orders AS o JOIN ec AS c USING (custName)
+        WHERE c.custAge >= 30 GROUP BY o.prodName""",
+    "visible-semijoin": """
+        SELECT o.prodName, c.avgAge AT (VISIBLE) AS v
+        FROM Orders AS o JOIN ec AS c USING (custName)
+        WHERE c.custAge >= 30 GROUP BY o.prodName""",
+}
+
+
+def build(size: int) -> Database:
+    db = Database()
+    load_workload(db, WorkloadConfig(orders=size, products=15, customers=40))
+    db.execute("CREATE VIEW ec AS SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers")
+    return db
+
+
+_dbs: dict[int, Database] = {}
+
+
+def db_for(size: int) -> Database:
+    if size not in _dbs:
+        _dbs[size] = build(size)
+    return _dbs[size]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_f04_visible_cost(benchmark, variant, size):
+    db = db_for(size)
+    benchmark.group = f"F04 visible n={size}"
+    result = benchmark(db.execute, VARIANTS[variant])
+    assert len(result.rows) > 0
+
+
+def test_f04_semantic_difference_is_real():
+    """The three averages answer different questions (Listing 9)."""
+    db = db_for(800)
+    weighted = dict(db.execute(VARIANTS["weighted-avg"]).rows)
+    unweighted = dict(db.execute(VARIANTS["unweighted-default"]).rows)
+    visible = dict(db.execute(VARIANTS["visible-semijoin"]).rows)
+    # The unweighted default is the same for every product (all customers).
+    assert len(set(unweighted.values())) == 1
+    # The weighted and visible averages differ for at least one product
+    # whenever any visible customer ordered twice within a product.
+    diffs = [
+        p
+        for p in weighted
+        if round(weighted[p], 6) != round(visible[p], 6)
+    ]
+    assert diffs, "expected repeat buyers to separate weighted from visible"
+
+
+def test_f04_visible_dedupes_at_measure_grain():
+    db = db_for(800)
+    # One visible customer counted once per group, however many orders.
+    db.execute("CREATE OR REPLACE VIEW ec AS SELECT *, COUNT(*) AS MEASURE n FROM Customers")
+    rows = db.execute(
+        """SELECT o.prodName, c.n AT (VISIBLE) AS visibleCustomers,
+                  COUNT(*) AS joinedRows
+           FROM Orders AS o JOIN ec AS c USING (custName)
+           GROUP BY o.prodName"""
+    ).rows
+    assert all(r[1] <= r[2] for r in rows)
+    assert any(r[1] < r[2] for r in rows)  # fan-out exists in the workload

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark family in DESIGN.md's per-experiment index lives in one
+module here.  Workload databases are built once per size and cached for the
+whole session; all generation is seeded, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads import WorkloadConfig, load_workload
+from repro.workloads.paper_data import load_paper_tables
+
+_workload_cache: dict[tuple, Database] = {}
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    db = Database()
+    load_paper_tables(db)
+    return db
+
+
+@pytest.fixture
+def orders_db(paper_db: Database) -> Database:
+    paper_db.execute(
+        """CREATE VIEW EnhancedOrders AS
+           SELECT orderDate, prodName,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+           FROM Orders"""
+    )
+    return paper_db
+
+
+def workload_db(orders: int, *, cache: bool = True, optimizer: bool = True) -> Database:
+    """A measure-enabled synthetic workload database, memoized per config."""
+    key = (orders, cache, optimizer)
+    if key not in _workload_cache:
+        db = Database(cache=cache, optimizer=optimizer)
+        load_workload(
+            db, WorkloadConfig(orders=orders, products=20, customers=50)
+        )
+        db.execute(
+            """CREATE VIEW eo AS
+               SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                      SUM(revenue) AS MEASURE rev,
+                      AVG(revenue) AS MEASURE avgRev,
+                      (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+               FROM Orders"""
+        )
+        _workload_cache[key] = db
+    return _workload_cache[key]

@@ -1,0 +1,199 @@
+"""Regenerate every table/listing the paper prints, as one report.
+
+Run with::
+
+    python -m benchmarks.report
+
+This is the no-timing companion to the pytest-benchmark suite: it prints the
+paper's expected values next to the engine's measured output for each
+experiment in DESIGN.md's index, and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Database
+from repro.workloads.paper_data import load_paper_tables
+
+FAILURES: list[str] = []
+
+
+def check(label: str, condition: bool) -> None:
+    status = "ok" if condition else "MISMATCH"
+    print(f"  [{status}] {label}")
+    if not condition:
+        FAILURES.append(label)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> int:
+    db = Database()
+    load_paper_tables(db)
+    db.execute(
+        """CREATE VIEW EnhancedOrders AS
+           SELECT orderDate, prodName,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+           FROM Orders"""
+    )
+
+    section("E01  Tables 1-2: the paper's data")
+    print(db.execute("SELECT * FROM Customers").pretty())
+    print()
+    print(db.execute("SELECT * FROM Orders").pretty())
+
+    section("E02  Listing 1: summarizing Orders by product")
+    result = db.execute(
+        """SELECT prodName, COUNT(*) AS c,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+           FROM Orders GROUP BY prodName ORDER BY prodName"""
+    )
+    print(result.pretty())
+    check("margins 0.60/0.47/0.67", [round(r[2], 2) for r in result.rows] == [0.6, 0.47, 0.67])
+
+    section("E04  Listing 4: AGGREGATE(profitMargin)  [paper prints this table]")
+    result = db.execute(
+        """SELECT prodName, AGGREGATE(profitMargin), COUNT(*)
+           FROM EnhancedOrders GROUP BY prodName ORDER BY prodName"""
+    )
+    print(result.pretty())
+    check(
+        "matches paper: Acme 0.60/1, Happy 0.47/3, Whizz 0.67/1",
+        [(r[0], round(r[1], 2), r[2]) for r in result.rows]
+        == [("Acme", 0.6, 1), ("Happy", 0.47, 3), ("Whizz", 0.67, 1)],
+    )
+
+    section("E05  Listing 5: expansion to plain SQL")
+    query = "SELECT prodName, AGGREGATE(profitMargin) AS pm FROM EnhancedOrders GROUP BY prodName ORDER BY prodName"
+    expanded = db.expand(query)
+    print(expanded)
+    check(
+        "expanded SQL returns identical rows",
+        db.execute(expanded).rows == db.execute(query).rows,
+    )
+
+    section("E06  Listing 6: proportion of total revenue")
+    result = db.execute(
+        """SELECT prodName, sumRevenue,
+                  sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+           FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+           GROUP BY prodName ORDER BY prodName"""
+    )
+    print(result.pretty())
+    check("shares 0.20/0.68/0.12", [round(r[2], 2) for r in result.rows] == [0.2, 0.68, 0.12])
+
+    section("E07  Listing 7: margins this year vs last (SET + CURRENT)")
+    result = db.execute(
+        """SELECT prodName, orderYear, profitMargin,
+                  profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+                    AS profitMarginLastYear
+           FROM (SELECT *,
+                   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+                   YEAR(orderDate) AS orderYear
+                 FROM Orders)
+           WHERE orderYear = 2024 GROUP BY prodName, orderYear"""
+    )
+    print(result.pretty())
+    check(
+        "Happy 2024: 0.43 this year, 0.33 last year",
+        round(result.rows[0][2], 2) == 0.43 and round(result.rows[0][3], 2) == 0.33,
+    )
+
+    section("E08  Listing 8: visible totals  [paper prints this table]")
+    result = db.execute(
+        """SELECT o.prodName, COUNT(*) AS c,
+                  AGGREGATE(o.sumRevenue) AS rAgg,
+                  o.sumRevenue AT (VISIBLE) AS rViz,
+                  o.sumRevenue AS r
+           FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+           WHERE o.custName <> 'Bob'
+           GROUP BY ROLLUP(o.prodName) ORDER BY o.prodName NULLS LAST"""
+    )
+    print(result.pretty())
+    check(
+        "matches paper: (Happy 2 13 13 17) (Whizz 1 3 3 3) (- 3 16 16 25)",
+        result.rows
+        == [("Happy", 2, 13, 13, 17), ("Whizz", 1, 3, 3, 3), (None, 3, 16, 16, 25)],
+    )
+
+    section("E09  Listing 9: measures and joins")
+    result = db.execute(
+        """WITH EnhancedCustomers AS (
+             SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+           SELECT o.prodName, COUNT(*) AS orderCount,
+                  AVG(c.custAge) AS weightedAvgAge,
+                  c.avgAge AS avgAge,
+                  c.avgAge AT (VISIBLE) AS visibleAvgAge
+           FROM Orders AS o JOIN EnhancedCustomers AS c USING (custName)
+           WHERE c.custAge >= 18 GROUP BY o.prodName ORDER BY o.prodName"""
+    )
+    print(result.pretty())
+    check(
+        "Happy: weighted 29, unweighted 27, visible 32",
+        [round(v, 2) for v in result.rows[1][2:]] == [29.0, 27.0, 32.0],
+    )
+
+    section("E10  Listings 10-11: year-over-year ratio and its expansion")
+    query = """SELECT prodName, YEAR(orderDate) AS orderYear,
+                      sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+               FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue,
+                            YEAR(orderDate) AS orderYear FROM Orders)
+               GROUP BY prodName, YEAR(orderDate) ORDER BY prodName, orderYear"""
+    result = db.execute(query)
+    print(result.pretty())
+    print("\nExpansion to plain SQL:")
+    print(db.expand(query))
+    check("expansion agrees", db.execute(db.expand(query)).rows == result.rows)
+
+    print("\nThe paper's Listing 11 (lambda exposition of the same query):")
+    from repro.core.lambdas import explain_lambda_semantics
+
+    lambda_text = explain_lambda_semantics(db, query)
+    print(lambda_text)
+    check(
+        "Listing 11 structure (CREATE TYPE / CREATE FUNCTION / compute calls)",
+        "CREATE TYPE OrdersRow" in lambda_text
+        and "computeSumRevenue(r ->" in lambda_text
+        and "APPLY(rowPredicate, o)" in lambda_text,
+    )
+
+    section("E11  Listing 12: four equivalent queries")
+    from benchmarks.bench_listings import LISTING12
+
+    results = {name: db.execute(sql).rows for name, sql in LISTING12.items()}
+    for name, rows in results.items():
+        print(f"  {name}: {[(r[0], str(r[1])) for r in rows]}")
+    baseline = next(iter(results.values()))
+    check("all four formulations agree", all(r == baseline for r in results.values()))
+
+    section("E12  Table 3: context modifiers")
+    db.execute(
+        """CREATE VIEW mv AS
+           SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                  SUM(revenue) AS MEASURE r FROM Orders"""
+    )
+    result = db.execute(
+        """SELECT prodName, r AS base, r AT (ALL) AS grandTotal,
+                  r AT (ALL custName) AS allCust,
+                  r AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+                  r AT (VISIBLE) AS vis,
+                  r AT (WHERE orderYear = 2023) AS y2023
+           FROM mv WHERE custName <> 'Bob'
+           GROUP BY prodName ORDER BY prodName"""
+    )
+    print(result.pretty())
+    check("grand total 25 on every row", all(r[2] == 25 for r in result.rows))
+
+    print(f"\n{'=' * 72}")
+    if FAILURES:
+        print(f"{len(FAILURES)} MISMATCH(ES): {FAILURES}")
+        return 1
+    print("All paper tables and listings reproduced exactly.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

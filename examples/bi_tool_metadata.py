@@ -1,0 +1,70 @@
+"""Integrating a BI tool: metadata, parameters, and expansion.
+
+The paper's section 5.6 describes Looker's Open SQL Interface: every Explore
+appears as a SQL table whose measures are measure columns, and third-party
+tools (Sheets, Power BI, Tableau) query it like a database.  This example
+plays the role of such a tool against this engine:
+
+1. discover the semantic model through ``describe()``;
+2. generate parameterized dashboard queries from the metadata alone;
+3. show end users the plain SQL a measure query means (``expand``).
+
+Run with::
+
+    python examples/bi_tool_metadata.py
+"""
+
+import json
+
+from repro.workloads import WorkloadConfig, workload_database
+
+db = workload_database(WorkloadConfig(orders=3000, products=10, customers=40))
+
+# The modelling team publishes one semantic view.
+db.execute(
+    """CREATE VIEW SalesExplore AS
+       SELECT o.prodName, p.category, YEAR(o.orderDate) AS orderYear,
+              SUM(o.revenue) AS MEASURE totalRevenue,
+              (SUM(o.revenue) - SUM(o.cost)) / SUM(o.revenue) AS MEASURE margin,
+              COUNT(*) AS MEASURE orderCount
+       FROM Orders AS o JOIN Products AS p ON o.prodName = p.prodName"""
+)
+
+# -- 1. The tool discovers dimensions and measures -----------------------------
+metadata = db.describe("SalesExplore")
+print("Model metadata the tool sees:")
+print(json.dumps(metadata, indent=2))
+
+dimensions = [c["name"] for c in metadata["columns"] if not c["measure"]]
+measures = [m["name"] for m in metadata["measures"]]
+print(f"\ndimensions: {dimensions}")
+print(f"measures:   {measures}")
+
+# -- 2. It generates queries mechanically --------------------------------------
+dimension = dimensions[1]  # category
+generated = (
+    f"SELECT {dimension}, "
+    + ", ".join(f"AGGREGATE({m}) AS {m}" for m in measures)
+    + f" FROM SalesExplore GROUP BY {dimension} ORDER BY totalRevenue DESC"
+)
+print(f"\nGenerated query:\n  {generated}")
+print(db.execute(generated).pretty())
+
+# A filtered panel uses parameters rather than string concatenation.
+print("\nParameterized drill-down (category = ?, year >= ?):")
+print(
+    db.execute(
+        """SELECT prodName, AGGREGATE(totalRevenue) AS revenue
+           FROM SalesExplore WHERE category = ? AND orderYear >= ?
+           GROUP BY prodName ORDER BY revenue DESC LIMIT 5""",
+        ("toys", 2021),
+    ).pretty()
+)
+
+# -- 3. Transparency: what does that measure query mean in plain SQL? ---------
+print("\nThe engine can always show its work:")
+print(
+    db.expand(
+        "SELECT category, AGGREGATE(margin) FROM SalesExplore GROUP BY category"
+    )
+)

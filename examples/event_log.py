@@ -1,0 +1,90 @@
+"""Log-file analytics with measures (paper section 6.6).
+
+Event logs have a processing context: the current record, its session
+siblings, and values computed over the whole session.  Measures express
+those declaratively: a session-grain measure attached to the raw event
+table replaces the usual pile of self-joins.
+
+Run with::
+
+    python examples/event_log.py
+"""
+
+import random
+
+from repro import Database
+
+rng = random.Random(11)
+db = Database()
+db.execute(
+    """CREATE TABLE events (
+         sessionId INTEGER, seq INTEGER, page VARCHAR, msOnPage INTEGER)"""
+)
+pages = ["home", "search", "product", "cart", "checkout"]
+rows = []
+for session in range(1, 31):
+    length = rng.randint(1, 8)
+    for seq in range(1, length + 1):
+        depth = min(seq - 1, len(pages) - 1)
+        page = pages[rng.randint(0, depth)]
+        rows.append((session, seq, page, rng.randint(200, 30_000)))
+for row in rows:
+    db.execute(f"INSERT INTO events VALUES ({row[0]}, {row[1]}, '{row[2]}', {row[3]})")
+
+# Session-grain calculations, defined once on the raw events.
+db.execute(
+    """CREATE VIEW SessionStats AS
+       SELECT sessionId, page,
+              COUNT(*) AS MEASURE hits,
+              SUM(msOnPage) / 1000.0 AS MEASURE seconds,
+              MAX(seq) AS MEASURE pathLength,
+              COUNTIF(page = 'checkout') AS MEASURE checkouts
+       FROM events"""
+)
+
+print("Sessions that converted, with their total dwell time:")
+print(
+    db.execute(
+        """SELECT sessionId, AGGREGATE(seconds) AS dwell,
+                  AGGREGATE(pathLength) AS pathLen
+           FROM SessionStats
+           GROUP BY sessionId
+           HAVING AGGREGATE(checkouts) > 0
+           ORDER BY dwell DESC LIMIT 5"""
+    ).pretty()
+)
+
+print("\nPer-page hit share — each event row against its session context:")
+print(
+    db.execute(
+        """SELECT page, AGGREGATE(hits) AS hits,
+                  hits / hits AT (ALL page) AS shareOfAllHits
+           FROM SessionStats GROUP BY page ORDER BY hits DESC"""
+    ).pretty()
+)
+
+print("\nEvents in sessions longer than the average session")
+print("(the session-level aggregate is a measure; no self-join):")
+print(
+    db.execute(
+        """SELECT s.sessionId, AGGREGATE(s.hits) AS events
+           FROM SessionStats AS s
+           GROUP BY s.sessionId
+           HAVING AGGREGATE(s.pathLength) >
+                  (SELECT AVG(n) FROM
+                     (SELECT sessionId, MAX(seq) AS n FROM events
+                      GROUP BY sessionId))
+           ORDER BY events DESC LIMIT 5"""
+    ).pretty()
+)
+
+print("\nConversion funnel (share of sessions reaching each page):")
+print(
+    db.execute(
+        """SELECT page,
+                  COUNT(DISTINCT sessionId) AS sessions,
+                  COUNT(DISTINCT sessionId) * 1.0 /
+                    (SELECT COUNT(DISTINCT sessionId) FROM events) AS reach
+           FROM events GROUP BY page ORDER BY sessions DESC"""
+    ).pretty()
+)

@@ -1,0 +1,72 @@
+"""Quickstart: measures in 60 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database
+
+db = Database()
+
+# 1. Plain SQL: create the paper's Orders table.
+db.execute(
+    """CREATE TABLE Orders (
+         prodName VARCHAR, custName VARCHAR, orderDate DATE,
+         revenue INTEGER, cost INTEGER)"""
+)
+db.execute(
+    """INSERT INTO Orders VALUES
+       ('Happy', 'Alice', DATE '2023-11-28', 6, 4),
+       ('Acme',  'Bob',   DATE '2023-11-27', 5, 2),
+       ('Happy', 'Alice', DATE '2024-11-28', 7, 4),
+       ('Whizz', 'Celia', DATE '2023-11-25', 3, 1),
+       ('Happy', 'Bob',   DATE '2022-11-27', 4, 1)"""
+)
+
+# 2. Attach a calculation to the table with AS MEASURE.  The view keeps the
+#    table's grain — no GROUP BY — and the formula contains aggregates.
+db.execute(
+    """CREATE VIEW EnhancedOrders AS
+       SELECT orderDate, prodName,
+              (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+       FROM Orders"""
+)
+
+# 3. Use the measure at any grain.  AGGREGATE evaluates it in the context of
+#    each group — here, per product.
+print("Profit margin by product:")
+print(
+    db.execute(
+        """SELECT prodName, AGGREGATE(profitMargin), COUNT(*)
+           FROM EnhancedOrders GROUP BY prodName ORDER BY prodName"""
+    ).pretty()
+)
+
+# 4. The same measure at a different grain: no formula repetition.
+print("\nProfit margin overall:")
+print(db.execute("SELECT AGGREGATE(profitMargin) FROM EnhancedOrders").pretty())
+
+# 5. The AT operator changes the evaluation context: compare each year's
+#    margin to the previous year's without a self-join.
+print("\nMargin vs last year:")
+print(
+    db.execute(
+        """SELECT prodName, orderYear, profitMargin,
+                  profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+                    AS lastYear
+           FROM (SELECT *,
+                   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+                   YEAR(orderDate) AS orderYear
+                 FROM Orders)
+           GROUP BY prodName, orderYear ORDER BY prodName, orderYear"""
+    ).pretty()
+)
+
+# 6. Everything a measure does can be spelled as plain SQL: expand it.
+print("\nWhat the engine actually runs (paper Listing 5):")
+print(
+    db.expand(
+        "SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName"
+    )
+)

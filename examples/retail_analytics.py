@@ -1,0 +1,109 @@
+"""Retail analytics dashboard: the workload the paper's introduction
+motivates, on a synthetic star schema.
+
+One set of measures is defined once, in one place; every dashboard panel
+below is a small, self-contained query.  Changing the date range of a panel
+changes one clause, not many — the problem statement of paper section 1.
+
+Run with::
+
+    python examples/retail_analytics.py
+"""
+
+from repro.workloads import WorkloadConfig, workload_database
+
+db = workload_database(WorkloadConfig(orders=5000, products=20, customers=60))
+
+# The semantic model: one wide view over the star schema (paper section 5.3),
+# with the business calculations attached as measures.
+db.execute(
+    """CREATE VIEW Sales AS
+       SELECT o.prodName, p.category, o.custName, c.region,
+              YEAR(o.orderDate) AS orderYear,
+              QUARTER(o.orderDate) AS orderQuarter,
+              SUM(o.revenue) AS MEASURE revenue,
+              SUM(o.cost) AS MEASURE cost,
+              (SUM(o.revenue) - SUM(o.cost)) / SUM(o.revenue) AS MEASURE margin,
+              COUNT(*) AS MEASURE orders
+       FROM Orders AS o
+       JOIN Products AS p ON o.prodName = p.prodName
+       JOIN Customers AS c ON o.custName = c.custName"""
+)
+
+print("Panel 1: revenue and margin by category")
+print(
+    db.execute(
+        """SELECT category, AGGREGATE(revenue) AS revenue,
+                  AGGREGATE(margin) AS margin
+           FROM Sales GROUP BY category ORDER BY revenue DESC"""
+    ).pretty()
+)
+
+print("\nPanel 2: top products with share of total revenue")
+print(
+    db.execute(
+        """SELECT prodName, AGGREGATE(revenue) AS revenue,
+                  revenue / revenue AT (ALL prodName) AS share
+           FROM Sales GROUP BY prodName ORDER BY revenue DESC LIMIT 5"""
+    ).pretty()
+)
+
+print("\nPanel 3: year-over-year revenue growth by category")
+print(
+    db.execute(
+        """SELECT category, orderYear,
+                  AGGREGATE(revenue) AS revenue,
+                  revenue / revenue AT (SET orderYear = CURRENT orderYear - 1) - 1
+                    AS growth
+           FROM Sales GROUP BY category, orderYear
+           ORDER BY category, orderYear"""
+    ).pretty(max_rows=12)
+)
+
+print("\nPanel 4: north region vs company-wide margin")
+print(
+    db.execute(
+        """SELECT orderYear,
+                  AGGREGATE(margin) AS northMargin,
+                  margin AT (ALL region) AS companyMargin
+           FROM Sales WHERE region = 'north'
+           GROUP BY orderYear ORDER BY orderYear"""
+    ).pretty()
+)
+
+print("\nPanel 5: subtotals with ROLLUP; measures respect the grouping sets")
+print(
+    db.execute(
+        """SELECT category, orderYear, AGGREGATE(revenue) AS revenue,
+                  revenue / revenue AT (ALL category, orderYear) AS shareOfTotal
+           FROM Sales
+           GROUP BY ROLLUP(category, orderYear)
+           ORDER BY category NULLS LAST, orderYear NULLS LAST"""
+    ).pretty(max_rows=15)
+)
+
+print("\nPanel 6: revenue cross-tab, regions x years (PIVOT)")
+print(
+    db.execute(
+        """SELECT * FROM
+             (SELECT c.region, YEAR(o.orderDate) AS y, o.revenue
+              FROM Orders AS o JOIN Customers AS c USING (custName))
+             PIVOT(SUM(revenue) FOR y IN (2020 AS y2020, 2021 AS y2021,
+                                          2022 AS y2022, 2023 AS y2023))
+           ORDER BY region"""
+    ).pretty()
+)
+
+print("\nPanel 7: products that beat their category's average order value")
+print(
+    db.execute(
+        """SELECT s.prodName, s.category FROM
+           (SELECT prodName, category, revenue,
+                   AVG(revenue) AS MEASURE avgOrderValue FROM Orders
+            JOIN Products USING (prodName)) AS s
+           WHERE s.revenue >
+                 s.avgOrderValue AT (WHERE category = s.category)
+           GROUP BY s.prodName, s.category
+           ORDER BY s.category, s.prodName LIMIT 10"""
+    ).pretty()
+)

@@ -1,0 +1,101 @@
+"""The semantic-layer story (paper sections 3.2, 5.5, 5.6).
+
+An expert encapsulates the business calculations — including columns the
+analyst must never see — in a view with measures.  The analyst queries the
+view like any table: the formulas are reusable, consistent, and the hidden
+columns are unreachable, yet the measures still compute over them.
+
+Run with::
+
+    python examples/semantic_layer.py
+"""
+
+from repro import BindError, Database
+from repro.workloads import WorkloadConfig, load_workload
+
+db = Database()
+load_workload(db, WorkloadConfig(orders=2000, products=12, customers=40))
+
+# -- The expert's job: define once, in one place ------------------------------
+#
+# The view exposes prodName and orderYear as dimensions.  revenue and cost
+# stay hidden: only the calculations escape, as measures.
+
+db.execute(
+    """CREATE VIEW ProductFinance AS
+       SELECT prodName, YEAR(orderDate) AS orderYear,
+              SUM(revenue) AS MEASURE totalRevenue,
+              (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE grossMargin,
+              SUM(revenue - cost) AS MEASURE grossProfit,
+              COUNT(*) AS MEASURE orderCount,
+              SUM(revenue) / COUNT(*) AS MEASURE avgOrderValue
+       FROM Orders"""
+)
+
+# -- The analyst's job: ask questions ------------------------------------------
+
+print("Gross margin by product (the analyst never typed a formula):")
+print(
+    db.execute(
+        """SELECT prodName, AGGREGATE(grossMargin) AS margin,
+                  AGGREGATE(avgOrderValue) AS aov
+           FROM ProductFinance GROUP BY prodName
+           ORDER BY margin DESC LIMIT 5"""
+    ).pretty()
+)
+
+print("\nThe same measures, different question, zero duplication:")
+print(
+    db.execute(
+        """SELECT orderYear, AGGREGATE(grossProfit) AS profit,
+                  grossProfit / grossProfit AT (ALL orderYear) AS shareOfAllTime
+           FROM ProductFinance GROUP BY orderYear ORDER BY orderYear"""
+    ).pretty()
+)
+
+# -- Security: the hologram, not the pixels (paper section 5.5) ---------------
+
+print("\nHidden columns are unreachable:")
+for column in ("revenue", "cost", "custName"):
+    try:
+        db.execute(f"SELECT {column} FROM ProductFinance LIMIT 1")
+    except BindError as exc:
+        print(f"  SELECT {column} -> {exc}")
+
+print(
+    "\n...but the measures still compute over them "
+    "(the view is a bounded interface to the data):"
+)
+print(
+    db.execute(
+        "SELECT AGGREGATE(totalRevenue) AS allRevenue FROM ProductFinance"
+    ).pretty()
+)
+
+# Predicates can only address the exposed dimensions: two underlying rows
+# that agree on every dimension are indistinguishable through the view.
+print("\nContexts are expressible only over exposed dimensions:")
+print(
+    db.execute(
+        """SELECT prodName,
+                  totalRevenue AT (WHERE orderYear = 2023) AS r2023
+           FROM ProductFinance GROUP BY prodName
+           ORDER BY r2023 DESC LIMIT 3"""
+    ).pretty()
+)
+
+# -- Composition: a second expert builds on the first --------------------------
+
+db.execute(
+    """CREATE VIEW ProductFinanceQoQ AS
+       SELECT prodName, AGGREGATE(grossProfit) AS MEASURE profit
+       FROM ProductFinance"""
+)
+print("\nA view composed over the first view's measures:")
+print(
+    db.execute(
+        """SELECT prodName, AGGREGATE(profit) AS profit
+           FROM ProductFinanceQoQ GROUP BY prodName
+           ORDER BY profit DESC LIMIT 3"""
+    ).pretty()
+)

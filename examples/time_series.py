@@ -1,0 +1,93 @@
+"""Time series and forecasting with measures (paper section 6.5).
+
+The paper asks: "How can I evaluate a measure on a table that has no rows?"
+Measures answer naturally — the evaluation context is a predicate, so you can
+ask for any context you like, including months with no orders.  A calendar
+table synthesizes the missing dimension values; the measure fills the cells,
+NULL where the business was closed.
+
+A trailing-average "forecast" measure then extrapolates the next period,
+showing the expert-encapsulates/user-consumes pattern the paper sketches.
+
+Run with::
+
+    python examples/time_series.py
+"""
+
+from repro.workloads import WorkloadConfig, workload_database
+
+db = workload_database(WorkloadConfig(orders=1500, products=8, customers=30, years=2))
+
+# The measure model: revenue at monthly grain.
+db.execute(
+    """CREATE VIEW MonthlySales AS
+       SELECT YEAR(orderDate) AS y, MONTH(orderDate) AS m,
+              SUM(revenue) AS MEASURE rev,
+              COUNT(*) AS MEASURE orders
+       FROM Orders"""
+)
+
+# A calendar of every month, whether or not it has orders: the row
+# synthesizer the paper calls for.  (Generated in SQL for the demo; a real
+# deployment would keep a calendar dimension table.)
+db.execute("CREATE TABLE Calendar (y INTEGER, m INTEGER)")
+for year in (2020, 2021):
+    for month in range(1, 13):
+        db.execute(f"INSERT INTO Calendar VALUES ({year}, {month})")
+
+print("Monthly revenue with gaps filled (NULL = no orders that month):")
+print(
+    db.execute(
+        """SELECT c.y, c.m,
+                  s.rev AT (WHERE y = c.y AND m = c.m) AS revenue
+           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales LIMIT 1) AS s
+           ORDER BY c.y, c.m LIMIT 12"""
+    ).pretty()
+)
+
+# Simpler spelling with a measure-bearing join: evaluate the measure per
+# calendar row by pinning its dimensions to the calendar's columns.
+print("\nMoM growth over the synthesized axis:")
+print(
+    db.execute(
+        """SELECT c.y, c.m,
+                  s.rev AT (WHERE y = c.y AND m = c.m) AS revenue,
+                  s.rev AT (WHERE y = c.y AND m = c.m)
+                    / s.rev AT (WHERE (y = c.y AND m = c.m - 1)
+                                OR (y = c.y - 1 AND m = 12 AND c.m = 1)) - 1
+                    AS growth
+           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales LIMIT 1) AS s
+           WHERE c.y = 2021
+           ORDER BY c.y, c.m LIMIT 6"""
+    ).pretty()
+)
+
+# Forecast: the expert wraps a trailing-3-month average into a measure-like
+# view; the user consumes "forecast" without seeing the statistics.
+db.execute(
+    """CREATE VIEW RevenueByMonth AS
+       SELECT y, m, AGGREGATE(rev) AS revenue
+       FROM MonthlySales GROUP BY y, m"""
+)
+print("\nTrailing-average forecast for the next month (expert-defined):")
+print(
+    db.execute(
+        """SELECT y, m, revenue,
+                  AVG(revenue) OVER (ORDER BY y, m
+                    ROWS BETWEEN 3 PRECEDING AND 1 PRECEDING) AS forecast,
+                  revenue - AVG(revenue) OVER (ORDER BY y, m
+                    ROWS BETWEEN 3 PRECEDING AND 1 PRECEDING) AS surprise
+           FROM RevenueByMonth
+           ORDER BY y, m LIMIT 10"""
+    ).pretty()
+)
+
+# Resampling: the same measure at a coarser temporal grain, no new formula.
+print("\nThe same measure resampled to quarters (ad hoc dimension):")
+print(
+    db.execute(
+        """SELECT y, CEIL(m / 3.0) AS quarter, AGGREGATE(rev) AS revenue
+           FROM MonthlySales GROUP BY y, CEIL(m / 3.0)
+           ORDER BY y, quarter"""
+    ).pretty()
+)

@@ -1,0 +1,74 @@
+"""Time comparisons with SET and CURRENT (paper sections 3.5 and 6.5).
+
+Year-over-year, trailing comparisons, gap handling, and a simple
+"measure over a context with no rows" demonstration — the question the
+paper's future-work section asks.
+
+Run with::
+
+    python examples/year_over_year.py
+"""
+
+from repro.workloads import WorkloadConfig, workload_database
+
+db = workload_database(WorkloadConfig(orders=4000, products=8, customers=30))
+
+db.execute(
+    """CREATE VIEW S AS
+       SELECT prodName, YEAR(orderDate) AS y, QUARTER(orderDate) AS q,
+              SUM(revenue) AS MEASURE rev,
+              COUNT(*) AS MEASURE n
+       FROM Orders"""
+)
+
+print("Year-over-year revenue (NULL ratio where there is no prior year):")
+print(
+    db.execute(
+        """SELECT y, AGGREGATE(rev) AS revenue,
+                  rev AT (SET y = CURRENT y - 1) AS lastYear,
+                  rev / rev AT (SET y = CURRENT y - 1) - 1 AS growth
+           FROM S GROUP BY y ORDER BY y"""
+    ).pretty()
+)
+
+print("\nQuarter vs same quarter last year, per product:")
+print(
+    db.execute(
+        """SELECT prodName, y, q,
+                  AGGREGATE(rev) AS revenue,
+                  rev AT (SET y = CURRENT y - 1) AS sameQuarterLastYear
+           FROM S WHERE y = 2023
+           GROUP BY prodName, y, q
+           ORDER BY prodName, q LIMIT 12"""
+    ).pretty()
+)
+
+print("\nShare of the year contributed by each quarter:")
+print(
+    db.execute(
+        """SELECT y, q, AGGREGATE(rev) AS revenue,
+                  rev / rev AT (ALL q) AS shareOfYear
+           FROM S GROUP BY y, q ORDER BY y, q LIMIT 8"""
+    ).pretty()
+)
+
+print("\nEvaluating a measure where no rows exist (SUM over nothing is NULL,")
+print("so downstream arithmetic stays NULL instead of lying):")
+print(
+    db.execute(
+        """SELECT y, rev AT (SET y = 1999) AS revIn1999,
+                  n AT (SET y = 1999) AS ordersIn1999
+           FROM S GROUP BY y ORDER BY y LIMIT 1"""
+    ).pretty()
+)
+
+print("\nCumulative flavor via window functions on top of measure output")
+print("(queries over measure views stay closed, so this is ordinary SQL):")
+print(
+    db.execute(
+        """SELECT y, revenue,
+                  SUM(revenue) OVER (ORDER BY y) AS cumulative
+           FROM (SELECT y, AGGREGATE(rev) AS revenue FROM S GROUP BY y)
+           ORDER BY y"""
+    ).pretty()
+)

@@ -1,0 +1,50 @@
+"""repro: a reproduction of "Measures in SQL" (Hyde & Fremlin, SIGMOD 2024).
+
+A from-scratch, in-memory SQL engine extended with the paper's measure
+columns, context-sensitive expressions, the AT context-transformation
+operator, and the static rewrite of measures to plain SQL.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE Orders (prodName VARCHAR, revenue INTEGER)")
+    db.execute("INSERT INTO Orders VALUES ('Happy', 6), ('Acme', 5)")
+    db.execute('''CREATE VIEW eo AS
+                  SELECT prodName, SUM(revenue) AS MEASURE sumRevenue
+                  FROM Orders''')
+    print(db.execute("SELECT prodName, AGGREGATE(sumRevenue) FROM eo GROUP BY prodName"))
+"""
+
+from repro.api import Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    LexerError,
+    MeasureError,
+    ParseError,
+    SqlError,
+    TypeCheckError,
+    UnsupportedError,
+)
+from repro.result import Result, ResultColumn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindError",
+    "CatalogError",
+    "Database",
+    "ExecutionError",
+    "LexerError",
+    "MeasureError",
+    "ParseError",
+    "Result",
+    "ResultColumn",
+    "SqlError",
+    "TypeCheckError",
+    "UnsupportedError",
+    "__version__",
+]

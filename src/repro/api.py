@@ -1,0 +1,383 @@
+"""Public API: the :class:`Database`.
+
+>>> from repro import Database
+>>> db = Database()
+>>> db.execute("CREATE TABLE t (x INTEGER)")           # doctest: +ELLIPSIS
+Result(...)
+>>> db.execute("INSERT INTO t VALUES (1), (2)").rowcount
+2
+>>> db.execute("SELECT SUM(x) FROM t").scalar()
+3
+
+Measures work end to end::
+
+    db.execute('''CREATE VIEW eo AS
+                  SELECT orderDate, prodName,
+                         (SUM(revenue) - SUM(cost)) / SUM(revenue)
+                           AS MEASURE profitMargin
+                  FROM Orders''')
+    db.execute("SELECT prodName, AGGREGATE(profitMargin) FROM eo GROUP BY prodName")
+
+``Database.expand`` returns the measure-free SQL a query rewrites to (the
+paper's Listing 5), and ``EXPLAIN EXPAND <query>`` does the same inside SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.catalog import Catalog, TableSchema
+from repro.catalog.schema import Column
+from repro.engine.evaluator import ExecutionContext
+from repro.engine.executor import execute_plan
+from repro.errors import BindError, CatalogError, SqlError
+from repro.plan.optimizer import optimize
+from repro.result import Result, ResultColumn
+from repro.semantics.binder import Binder
+from repro.sql import ast, parse_statement, parse_statements
+from repro.types import parse_type_name
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory SQL database with measure support.
+
+    Parameters
+    ----------
+    cache:
+        Enable memoization of measure evaluations and correlated subqueries
+        (the paper's "localized self-join" strategy).  On by default; the
+        F02 benchmark turns it off to expose the naive quadratic behaviour.
+    optimizer:
+        Enable the logical-plan optimizer (A02 ablation).
+    """
+
+    def __init__(self, *, cache: bool = True, optimizer: bool = True):
+        self.catalog = Catalog()
+        self.cache_enabled = cache
+        self.optimizer_enabled = optimizer
+        #: Statistics of the most recent query execution.
+        self.last_stats: Optional[ExecutionContext] = None
+
+    # -- statement execution ----------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Parse and execute a single SQL statement.
+
+        ``params`` supplies values for positional ``?`` placeholders, in
+        order (DB-API style).
+        """
+        return self._execute_statement(parse_statement(sql), params)
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a semicolon-separated script; returns one Result each."""
+        return [self._execute_statement(s) for s in parse_statements(sql)]
+
+    def query(self, sql: str) -> Result:
+        """Alias of :meth:`execute` for read-only use."""
+        return self.execute(sql)
+
+    def _execute_statement(
+        self, statement: ast.Statement, params: Sequence[Any] = ()
+    ) -> Result:
+        if isinstance(statement, ast.QueryStatement):
+            return self._run_query(statement.query, params)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateTableAs):
+            return self._create_table_as(statement)
+        if isinstance(statement, ast.Truncate):
+            table = self.catalog.base_table(statement.table)
+            count = len(table.table)
+            table.table.truncate()
+            return Result(rowcount=count, message=f"{count} rows truncated")
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement)
+        if isinstance(statement, ast.DropObject):
+            self.catalog.drop(statement.kind, statement.name, if_exists=statement.if_exists)
+            return Result(message=f"{statement.kind} {statement.name} dropped")
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, params)
+        if isinstance(statement, ast.ExplainPlan):
+            return self._explain(statement)
+        if isinstance(statement, ast.ExplainExpand):
+            sql = self.expand_query(statement.query)
+            from repro.types import VARCHAR
+
+            return Result(
+                columns=[ResultColumn("expanded_sql", VARCHAR)],
+                rows=[(sql,)],
+                rowcount=1,
+            )
+        raise SqlError(f"cannot execute {type(statement).__name__}")
+
+    def _run_query(self, query: ast.Query, params: Sequence[Any] = ()) -> Result:
+        binder = Binder(self.catalog)
+        plan, columns = binder.bind_query_top(query)
+        if self.optimizer_enabled:
+            plan = optimize(plan)
+        ctx = ExecutionContext(
+            self.catalog, enable_cache=self.cache_enabled, params=params
+        )
+        rows = execute_plan(plan, ctx)
+        self.last_stats = ctx
+        return Result(
+            columns=[ResultColumn(c.name, c.dtype) for c in columns],
+            rows=rows,
+            rowcount=len(rows),
+        )
+
+    # -- DDL / DML ----------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> Result:
+        schema = TableSchema(
+            [Column(c.name, parse_type_name(c.type_name)) for c in statement.columns]
+        )
+        self.catalog.create_table(
+            statement.name,
+            schema,
+            or_replace=statement.or_replace,
+            if_not_exists=statement.if_not_exists,
+        )
+        return Result(message=f"table {statement.name} created")
+
+    def _create_table_as(self, statement: ast.CreateTableAs) -> Result:
+        from repro.types import UNKNOWN, VARCHAR
+
+        result = self._run_query(statement.query)
+        schema = TableSchema(
+            [
+                Column(c.name, VARCHAR if c.dtype.unwrap() is UNKNOWN else c.dtype.unwrap())
+                for c in result.columns
+            ]
+        )
+        table = self.catalog.create_table(
+            statement.name, schema, or_replace=statement.or_replace
+        )
+        count = table.table.insert_many(result.rows)
+        return Result(rowcount=count, message=f"table {statement.name} created ({count} rows)")
+
+    def _create_view(self, statement: ast.CreateView) -> Result:
+        # Bind eagerly so that invalid views are rejected at creation time.
+        probe = Binder(self.catalog)
+        bound = probe.bind_query_as_relation(statement.query, None)
+        if statement.column_names and len(statement.column_names) != len(bound.columns):
+            raise BindError(
+                f"view {statement.name!r} declares "
+                f"{len(statement.column_names)} columns but its query returns "
+                f"{len(bound.columns)}"
+            )
+        self.catalog.create_view(
+            statement.name,
+            statement.query,
+            column_names=statement.column_names,
+            or_replace=statement.or_replace,
+        )
+        return Result(message=f"view {statement.name} created")
+
+    def _insert(self, statement: ast.Insert, params: Sequence[Any] = ()) -> Result:
+        table = self.catalog.base_table(statement.table)
+        result = self._run_query(statement.source, params)
+        expected = (
+            len(statement.columns)
+            if statement.columns
+            else len(table.schema.columns)
+        )
+        count = 0
+        for row in result.rows:
+            if len(row) != expected:
+                raise CatalogError(
+                    f"INSERT expects {expected} values per row, got {len(row)}"
+                )
+            if statement.columns:
+                table.table.insert_partial(statement.columns, row)
+            else:
+                table.table.insert(row)
+            count += 1
+        return Result(rowcount=count, message=f"{count} rows inserted")
+
+    def _bind_table_predicate(self, table, where: Optional[ast.Expression]):
+        """Bind an UPDATE/DELETE predicate (and a row evaluator) over a
+        single base table's row."""
+        from repro.semantics.binder import _DummyQueryBinder
+        from repro.semantics.exprbinder import ExprBinder
+        from repro.semantics.scope import RelColumn, Relation, Scope
+
+        query_binder = _DummyQueryBinder(Binder(self.catalog))
+        scope = Scope()
+        columns = [
+            RelColumn(c.name, c.dtype, i)
+            for i, c in enumerate(table.schema.columns)
+        ]
+        scope.add_relation(Relation(table.name, columns, 0, len(columns)))
+        expr_binder = ExprBinder(query_binder, scope, clause="WHERE")
+        bound_where = expr_binder.bind(where) if where is not None else None
+        return expr_binder, bound_where
+
+    def _matching_indexes(self, table, bound_where, params=()) -> list[int]:
+        from repro.engine.evaluator import EvalEnv, evaluate
+
+        ctx = ExecutionContext(
+            self.catalog, enable_cache=self.cache_enabled, params=params
+        )
+        matches = []
+        for index, row in enumerate(table.table.rows):
+            if bound_where is None or evaluate(bound_where, EvalEnv(row), ctx) is True:
+                matches.append(index)
+        return matches
+
+    def _update(self, statement: ast.Update, params: Sequence[Any] = ()) -> Result:
+        from repro.engine.evaluator import EvalEnv, evaluate
+        from repro.types import coerce_value
+
+        table = self.catalog.base_table(statement.table)
+        expr_binder, bound_where = self._bind_table_predicate(
+            table, statement.where
+        )
+        targets = []
+        for assignment in statement.assignments:
+            index = table.schema.index_of(assignment.column)
+            targets.append((index, expr_binder.bind(assignment.value)))
+        ctx = ExecutionContext(
+            self.catalog, enable_cache=self.cache_enabled, params=params
+        )
+        rows = table.table.rows
+        count = 0
+        for row_index in self._matching_indexes(table, bound_where, params):
+            env = EvalEnv(rows[row_index])
+            updated = list(rows[row_index])
+            for column_index, value_expr in targets:
+                updated[column_index] = coerce_value(
+                    evaluate(value_expr, env, ctx),
+                    table.schema.columns[column_index].dtype,
+                )
+            rows[row_index] = tuple(updated)
+            count += 1
+        return Result(rowcount=count, message=f"{count} rows updated")
+
+    def _delete(self, statement: ast.Delete, params: Sequence[Any] = ()) -> Result:
+        table = self.catalog.base_table(statement.table)
+        _, bound_where = self._bind_table_predicate(table, statement.where)
+        doomed = set(self._matching_indexes(table, bound_where, params))
+        if doomed:
+            kept = [
+                row
+                for index, row in enumerate(table.table.rows)
+                if index not in doomed
+            ]
+            table.table.rows[:] = kept
+        return Result(rowcount=len(doomed), message=f"{len(doomed)} rows deleted")
+
+    def _explain(self, statement: ast.ExplainPlan) -> Result:
+        from repro.plan.logical import plan_tree_string
+        from repro.types import VARCHAR
+
+        binder = Binder(self.catalog)
+        plan, _ = binder.bind_query_top(statement.query)
+        if self.optimizer_enabled:
+            plan = optimize(plan)
+        text = plan_tree_string(plan)
+        return Result(
+            columns=[ResultColumn("plan", VARCHAR)],
+            rows=[(line,) for line in text.splitlines()],
+            rowcount=len(text.splitlines()),
+        )
+
+    # -- measure expansion ----------------------------------------------------
+
+    def expand(self, sql: str, *, strategy: str = "subquery") -> str:
+        """Rewrite a query's measure references to plain SQL.
+
+        ``strategy`` selects the rewrite (paper section 6.4): ``"subquery"``
+        (the general correlated-subquery expansion of section 4.2),
+        ``"inline"`` (inline the formula into a simple GROUP BY query), or
+        ``"window"`` (rewrite to window aggregates, section 5.1).
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.ExplainExpand):
+            query = statement.query
+        elif isinstance(statement, ast.QueryStatement):
+            query = statement.query
+        else:
+            raise SqlError("expand() requires a query")
+        return self.expand_query(query, strategy=strategy)
+
+    def expand_query(self, query: ast.Query, *, strategy: str = "subquery") -> str:
+        """Like :meth:`expand`, for an already-parsed query AST."""
+        from repro.core.expansion import expand_to_sql
+
+        return expand_to_sql(self, query, strategy=strategy)
+
+    # -- convenience ------------------------------------------------------------
+
+    def create_table_from_rows(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, str]],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        """Create a table and bulk-load Python rows (used by workloads)."""
+        schema = TableSchema(
+            [Column(col, parse_type_name(type_name)) for col, type_name in columns]
+        )
+        table = self.catalog.create_table(name, schema, or_replace=True)
+        return table.table.insert_many(rows)
+
+    def table_names(self) -> list[str]:
+        """Sorted names of every table and view in the catalog."""
+        return self.catalog.names()
+
+    def describe(self, name: str) -> dict:
+        """Structured metadata for a table or view.
+
+        This is the information the paper's Looker Open SQL Interface
+        exposes to BI tools (section 5.6): regular columns appear as
+        dimensions, measure columns as measures with their dimensionality.
+        Measure formulas are intentionally NOT included — the view is an
+        abstraction boundary (section 3.2).
+        """
+        from repro.catalog.objects import BaseTable
+
+        obj = self.catalog.resolve(name)
+        if isinstance(obj, BaseTable):
+            return {
+                "name": obj.name,
+                "kind": "table",
+                "rows": len(obj.table),
+                "columns": [
+                    {"name": c.name, "type": str(c.dtype), "measure": False}
+                    for c in obj.schema.columns
+                ],
+                "measures": [],
+            }
+        bound = Binder(self.catalog).bind_query_as_relation(obj.query, None)
+        columns = []
+        measures = []
+        dimension_names = [c.name for c in bound.columns if not c.is_measure]
+        for column in bound.columns:
+            columns.append(
+                {
+                    "name": column.name,
+                    "type": str(column.dtype),
+                    "measure": column.is_measure,
+                }
+            )
+            if column.is_measure:
+                measures.append(
+                    {
+                        "name": column.name,
+                        "type": str(column.dtype.unwrap()),
+                        "dimensions": list(dimension_names),
+                    }
+                )
+        return {
+            "name": obj.name,
+            "kind": "view",
+            "columns": columns,
+            "measures": measures,
+        }

@@ -1,0 +1,7 @@
+"""Catalog: named tables and views, schemas, and DDL bookkeeping."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.objects import BaseTable, CatalogObject, View
+from repro.catalog.schema import Column, TableSchema
+
+__all__ = ["BaseTable", "Catalog", "CatalogObject", "Column", "TableSchema", "View"]

@@ -1,0 +1,99 @@
+"""The catalog: a case-insensitive namespace of tables and views."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.objects import BaseTable, CatalogObject, View
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError
+from repro.sql import ast
+from repro.storage.table import MemoryTable
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Holds every named object visible to queries."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, CatalogObject] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._objects
+
+    def __iter__(self) -> Iterator[CatalogObject]:
+        return iter(self._objects.values())
+
+    def names(self) -> list[str]:
+        """Sorted display names of all catalog objects."""
+        return sorted(obj.name for obj in self._objects.values())
+
+    def get(self, name: str) -> Optional[CatalogObject]:
+        """The object named ``name`` (case-insensitive), or None."""
+        return self._objects.get(name.lower())
+
+    def resolve(self, name: str) -> CatalogObject:
+        """Like :meth:`get` but raises :class:`CatalogError` when missing."""
+        obj = self.get(name)
+        if obj is None:
+            raise CatalogError(f"unknown table or view {name!r}")
+        return obj
+
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        *,
+        or_replace: bool = False,
+        if_not_exists: bool = False,
+    ) -> BaseTable:
+        """Create (or with flags, replace/reuse) a base table."""
+        key = name.lower()
+        if key in self._objects:
+            if if_not_exists:
+                existing = self._objects[key]
+                if isinstance(existing, BaseTable):
+                    return existing
+                raise CatalogError(f"{name!r} exists and is not a table")
+            if not or_replace:
+                raise CatalogError(f"object {name!r} already exists")
+        table = BaseTable(name, MemoryTable(schema))
+        self._objects[key] = table
+        return table
+
+    def create_view(
+        self,
+        name: str,
+        query: ast.Query,
+        *,
+        column_names: Optional[list[str]] = None,
+        or_replace: bool = False,
+    ) -> View:
+        """Create a view over ``query``; ``column_names`` optionally rename."""
+        key = name.lower()
+        if key in self._objects and not or_replace:
+            raise CatalogError(f"object {name!r} already exists")
+        view = View(name, query, list(column_names or []))
+        self._objects[key] = view
+        return view
+
+    def drop(self, kind: str, name: str, *, if_exists: bool = False) -> bool:
+        """Drop a TABLE or VIEW; the kind must match the object."""
+        key = name.lower()
+        obj = self._objects.get(key)
+        if obj is None:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown {kind.lower()} {name!r}")
+        if obj.kind != kind:
+            raise CatalogError(f"{name!r} is a {obj.kind.lower()}, not a {kind.lower()}")
+        del self._objects[key]
+        return True
+
+    def base_table(self, name: str) -> BaseTable:
+        """Resolve ``name`` and require it to be a base table (DML targets)."""
+        obj = self.resolve(name)
+        if not isinstance(obj, BaseTable):
+            raise CatalogError(f"{name!r} is not a base table")
+        return obj

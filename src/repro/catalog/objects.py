@@ -1,0 +1,48 @@
+"""Catalog objects: base tables and views.
+
+A view stores its defining query AST; binding happens lazily each time the
+view is referenced, so views compose (views over views over tables) and views
+may define measures with ``AS MEASURE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import TableSchema
+from repro.sql import ast
+from repro.storage.table import MemoryTable
+
+__all__ = ["BaseTable", "View", "CatalogObject"]
+
+
+@dataclass
+class BaseTable:
+    """A named base table backed by in-memory storage."""
+
+    name: str
+    table: MemoryTable
+
+    @property
+    def schema(self) -> TableSchema:
+        return self.table.schema
+
+    @property
+    def kind(self) -> str:
+        return "TABLE"
+
+
+@dataclass
+class View:
+    """A named view over a query, possibly defining measures."""
+
+    name: str
+    query: ast.Query
+    column_names: list[str] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return "VIEW"
+
+
+CatalogObject = BaseTable | View

@@ -1,0 +1,228 @@
+"""Interactive SQL shell.
+
+Run with ``python -m repro [script.sql ...]``.  Statements end with ``;``.
+Backslash meta-commands:
+
+========================  ====================================================
+``\\q``                    quit
+``\\d``                    list tables and views
+``\\d NAME``               describe a table or view (columns, measures)
+``\\timing``               toggle per-statement timing
+``\\expand QUERY``         show the measure-free SQL a query expands to
+``\\i FILE``               execute a SQL script file
+``\\load TABLE FILE.csv``  create TABLE from a CSV file
+``\\demo``                 load the paper's Customers/Orders tables
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.api import Database
+from repro.errors import SqlError
+
+__all__ = ["Shell", "main"]
+
+_BANNER = """repro — Measures in SQL (Hyde & Fremlin, SIGMOD 2024) reproduction
+Type SQL ending with ';', or \\? for help.
+"""
+
+_HELP = """Meta commands:
+  \\q                 quit
+  \\d                 list tables and views
+  \\d NAME            describe a table or view
+  \\timing            toggle timing
+  \\expand QUERY;     print the measure-free expansion of QUERY
+  \\i FILE            run a SQL script
+  \\load TABLE FILE   load a CSV file into a new table
+  \\demo              load the paper's example tables
+"""
+
+
+class Shell:
+    """A small line-oriented shell around :class:`~repro.api.Database`."""
+
+    def __init__(self, db: Optional[Database] = None, out=None):
+        self.db = db or Database()
+        self.out = out or sys.stdout
+        self.timing = False
+        self.buffer: list[str] = []
+
+    # -- output -------------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        """Print one line to the shell's output stream."""
+        print(text, file=self.out)
+
+    # -- one input line ------------------------------------------------------
+
+    def handle_line(self, line: str) -> bool:
+        """Process one line; returns False when the shell should exit."""
+        stripped = line.strip()
+        if not self.buffer and stripped.startswith("\\"):
+            return self.handle_meta(stripped)
+        if not stripped and not self.buffer:
+            return True
+        self.buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self.buffer)
+            self.buffer = []
+            self.run_sql(statement)
+        return True
+
+    @property
+    def prompt(self) -> str:
+        """The prompt string (continuation prompt while buffering)."""
+        return "   ...> " if self.buffer else "repro=> "
+
+    # -- meta commands ----------------------------------------------------------
+
+    def handle_meta(self, line: str) -> bool:
+        """Execute one backslash command; False means quit."""
+        command, _, argument = line.partition(" ")
+        argument = argument.strip().rstrip(";")
+        if command in ("\\q", "\\quit", "\\exit"):
+            return False
+        if command == "\\?":
+            self.write(_HELP)
+        elif command == "\\d":
+            if argument:
+                self.describe(argument)
+            else:
+                self.list_objects()
+        elif command == "\\timing":
+            self.timing = not self.timing
+            self.write(f"timing {'on' if self.timing else 'off'}")
+        elif command == "\\expand":
+            try:
+                self.write(self.db.expand(argument))
+            except SqlError as exc:
+                self.write(f"error: {exc}")
+        elif command == "\\i":
+            self.run_script_file(argument)
+        elif command == "\\load":
+            parts = argument.split()
+            if len(parts) != 2:
+                self.write("usage: \\load TABLE FILE.csv")
+            else:
+                from repro.storage.csv_io import load_csv
+
+                try:
+                    count = load_csv(self.db, parts[0], parts[1])
+                    self.write(f"loaded {count} rows into {parts[0]}")
+                except (OSError, SqlError) as exc:
+                    self.write(f"error: {exc}")
+        elif command == "\\demo":
+            from repro.workloads.paper_data import load_paper_tables
+
+            load_paper_tables(self.db)
+            self.write("loaded Customers (3 rows) and Orders (5 rows)")
+        else:
+            self.write(f"unknown command {command!r}; \\? for help")
+        return True
+
+    def list_objects(self) -> None:
+        """Print every table and view (the bare ``\\d`` command)."""
+        names = self.db.table_names()
+        if not names:
+            self.write("(no tables)")
+            return
+        for name in names:
+            obj = self.db.catalog.resolve(name)
+            self.write(f"  {obj.kind.lower():5s} {obj.name}")
+
+    def describe(self, name: str) -> None:
+        """Print one object's columns, row count, and measures."""
+        from repro.catalog.objects import BaseTable
+        from repro.errors import CatalogError
+        from repro.semantics.binder import Binder
+
+        try:
+            obj = self.db.catalog.resolve(name)
+        except CatalogError as exc:
+            self.write(f"error: {exc}")
+            return
+        if isinstance(obj, BaseTable):
+            self.write(f"table {obj.name} ({len(obj.table)} rows)")
+            for column in obj.schema.columns:
+                self.write(f"  {column.name:20s} {column.dtype}")
+            return
+        try:
+            bound = Binder(self.db.catalog).bind_query_as_relation(obj.query, None)
+        except SqlError as exc:
+            self.write(f"view {obj.name} (invalid: {exc})")
+            return
+        self.write(f"view {obj.name}")
+        for column in bound.columns:
+            kind = "measure" if column.is_measure else ""
+            self.write(f"  {column.name:20s} {column.dtype}  {kind}".rstrip())
+
+    # -- execution -----------------------------------------------------------
+
+    def run_sql(self, sql: str) -> None:
+        """Execute a SQL string and print results or a typed error."""
+        start = time.perf_counter()
+        try:
+            results = self.db.execute_script(sql)
+        except SqlError as exc:
+            self.write(f"error: {exc}")
+            return
+        elapsed = (time.perf_counter() - start) * 1000
+        for result in results:
+            if result.columns:
+                self.write(result.pretty(max_rows=50))
+                self.write(f"({len(result.rows)} rows)")
+            else:
+                self.write(result.message or "ok")
+        if self.timing:
+            self.write(f"time: {elapsed:.1f} ms")
+
+    def run_script_file(self, path: str) -> None:
+        """Execute a .sql file (the ``\\i`` command / CLI arguments)."""
+        try:
+            with open(path) as handle:
+                sql = handle.read()
+        except OSError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.run_sql(sql)
+
+    # -- main loop ----------------------------------------------------------
+
+    def repl(self) -> None:
+        """Run the interactive read-eval-print loop until EOF or \\q."""
+        try:
+            import readline  # noqa: F401 - line editing side effect
+        except ImportError:  # pragma: no cover - platform dependent
+            pass
+        self.write(_BANNER)
+        while True:
+            try:
+                line = input(self.prompt)
+            except EOFError:
+                self.write()
+                return
+            except KeyboardInterrupt:
+                self.buffer = []
+                self.write()
+                continue
+            if not self.handle_line(line):
+                return
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: run script files from argv, then the REPL on a TTY."""
+    argv = sys.argv[1:] if argv is None else argv
+    shell = Shell()
+    for path in argv:
+        shell.run_script_file(path)
+    if not argv or sys.stdin.isatty():
+        shell.repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

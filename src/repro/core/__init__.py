@@ -1,0 +1,15 @@
+"""The paper's contribution: measures, contexts, modifiers, expansion."""
+
+from repro.core.context import ContextSpec, EqTerm, PredTerm, Term, VisibleTerm
+from repro.core.definition import Dimension, MeasureGroup, MeasureInstance
+
+__all__ = [
+    "ContextSpec",
+    "Dimension",
+    "EqTerm",
+    "MeasureGroup",
+    "MeasureInstance",
+    "PredTerm",
+    "Term",
+    "VisibleTerm",
+]

@@ -1,0 +1,83 @@
+"""Measure definitions.
+
+A measure is defined by a query with ``AS MEASURE`` items (paper section 3.2).
+All measures defined in one query share a :class:`MeasureGroup`: the **source
+plan** (the defining query's FROM and WHERE — the WHERE is baked in and cannot
+be subverted by users of the measure) and the **dimensions** (the defining
+query's non-measure output columns, each an expression over the source row).
+
+A measure's *dimensionality* is exactly its group's dimension set; evaluation
+contexts are predicates over those dimensions (paper section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Optional
+
+from repro.semantics.bound import BoundExpr, fingerprint
+from repro.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.plan.logical import LogicalPlan
+    from repro.sql import ast
+
+__all__ = ["Dimension", "MeasureGroup", "MeasureInstance"]
+
+
+@dataclass
+class Dimension:
+    """One dimension column of a measure table."""
+
+    name: str
+    source_expr: BoundExpr
+    dtype: DataType
+
+    @cached_property
+    def key(self) -> str:
+        """Canonical identity of this dimension (over the source row)."""
+        return fingerprint(self.source_expr)
+
+
+@dataclass
+class MeasureGroup:
+    """The shared context of all measures defined by one query."""
+
+    source_plan: "LogicalPlan"
+    dims: dict[str, Dimension]  # keyed by lower-case exposed name
+    dim_order: list[str] = field(default_factory=list)
+    #: AST of the defining query's source (used by SQL expansion); optional.
+    source_sql: Optional["ast.Query"] = None
+
+    def dim(self, name: str) -> Optional[Dimension]:
+        return self.dims.get(name.lower())
+
+    def dim_by_key(self, key: str) -> Optional[Dimension]:
+        for dimension in self.dims.values():
+            if dimension.key == key:
+                return dimension
+        return None
+
+
+@dataclass
+class MeasureInstance:
+    """A single measure: a formula over its group's source rows.
+
+    ``formula`` is a bound expression whose aggregate calls range over the
+    context-filtered source rows; scalar operators combine aggregate results
+    (e.g. ``(SUM(revenue) - SUM(cost)) / SUM(revenue)``).  The formula may
+    contain nested :class:`~repro.semantics.bound.BoundMeasureEval` nodes when
+    a measure is built from measures of an input table (paper section 5.4).
+    """
+
+    name: str
+    group: MeasureGroup
+    formula: BoundExpr
+    value_type: DataType
+    #: AST of the original formula (used by SQL expansion); optional.
+    formula_sql: Optional["ast.Expression"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = ", ".join(self.group.dim_order)
+        return f"MeasureInstance({self.name}; dims=[{dims}])"

@@ -1,0 +1,215 @@
+"""Top-down evaluation of measures (context-sensitive expressions).
+
+This is the interpretation strategy: build the evaluation-context predicate,
+filter the measure's source rows, and run the formula's aggregates over the
+survivors.  Results are memoized per (measure, context) — value-based keys
+mean that e.g. ``AT (ALL)`` grand totals are computed once per query, and
+repeated group contexts are computed once per group.  This cache is the
+engine's realization of the paper's "localized self-join" execution strategy
+(section 5.1); disable it with ``Database(cache=False)`` to see the quadratic
+behaviour the paper's rewrite avoids (benchmarks/bench_cache.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.context import (
+    ContextSpec,
+    EqTerm,
+    SemiMatchTerm,
+    Term,
+    VisibleTerm,
+)
+from repro.core.modifiers import apply_modifiers
+from repro.engine.evaluator import (
+    EvalEnv,
+    ExecutionContext,
+    evaluate,
+    evaluate_formula,
+)
+from repro.errors import ExecutionError
+from repro.semantics import bound as b
+
+__all__ = ["evaluate_measure", "source_rows_for"]
+
+
+def evaluate_measure(
+    node: b.BoundMeasureEval,
+    env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+    formula_rows: Optional[list[tuple]] = None,
+) -> Any:
+    """Evaluate a measure at a call site.
+
+    ``env`` is the call-site environment (the row being produced).
+    ``formula_rows`` is only set for inherited contexts: the outer measure's
+    already-filtered source rows.
+    """
+    spec = node.context
+    if _first_modifier_replaces(spec):
+        # The first modifier discards the incoming context (WHERE / bare
+        # ALL): skip building the default terms per call.
+        terms = apply_modifiers([], spec, env, ctx)
+    else:
+        terms = _base_terms(spec, env, ctx, formula_rows)
+        terms = apply_modifiers(terms, spec, env, ctx)
+
+    ctx.measure_evaluations += 1
+    cache_key = None
+    if ctx.enable_cache:
+        for term in terms:
+            # Terms keyed by object identity must keep that object alive for
+            # the whole execution, or a recycled id would alias cache entries.
+            if isinstance(term, SemiMatchTerm):
+                ctx.pinned.append(term.rows)
+            elif isinstance(term, VisibleTerm):
+                ctx.pinned.append(term.group_rows)
+        try:
+            cache_key = (
+                id(node.measure),
+                frozenset(term.cache_key() for term in terms),
+            )
+        except TypeError:
+            cache_key = None
+        if cache_key is not None and cache_key in ctx.measure_cache:
+            ctx.measure_cache_hits += 1
+            return ctx.measure_cache[cache_key]
+
+    filtered = _context_rows(node.measure, terms, ctx, env)
+    result = evaluate_formula(node.measure.formula, filtered, env, ctx)
+    if cache_key is not None:
+        ctx.measure_cache[cache_key] = result
+    return result
+
+
+def _context_rows(measure, terms: list[Term], ctx: ExecutionContext, env) -> list[tuple]:
+    """Source rows satisfying the context.
+
+    Equality terms are served from per-dimension hash indexes built once per
+    measure source (the 'localized self-join' of paper section 5.1 made
+    concrete): a context of k EqTerms costs an index intersection instead of
+    a full scan per evaluation.  Remaining term kinds filter the candidates.
+    """
+    rows = source_rows_for(measure, ctx, env)
+    eq_terms = [t for t in terms if isinstance(t, EqTerm)]
+    other_terms = [t for t in terms if not isinstance(t, EqTerm)]
+
+    candidate_indexes = None
+    if ctx.enable_cache and eq_terms:
+        buckets = []
+        for term in eq_terms:
+            index = _dimension_index(measure, term, ctx, rows)
+            if index is None:
+                other_terms.append(term)
+                continue
+            try:
+                buckets.append(index.get(term.value, ()))
+            except TypeError:  # unhashable context value
+                other_terms.append(term)
+        if buckets:
+            buckets.sort(key=len)
+            candidate_indexes = buckets[0]
+            for bucket in buckets[1:]:
+                as_set = set(bucket)
+                candidate_indexes = [
+                    i for i in candidate_indexes if i in as_set
+                ]
+    else:
+        other_terms = terms
+
+    if candidate_indexes is None:
+        candidates = rows
+    else:
+        candidates = [rows[i] for i in candidate_indexes]
+    if not other_terms:
+        return list(candidates)
+    return [row for row in candidates if _accept(other_terms, row, ctx)]
+
+
+def _dimension_index(measure, term: EqTerm, ctx: ExecutionContext, rows):
+    """value -> row indexes for one dimension of one measure source."""
+    key = (id(measure.group.source_plan), term.index_key)
+    cache = ctx.dim_indexes
+    if key in cache:
+        return cache[key]
+    index: dict = {}
+    try:
+        for position, row in enumerate(rows):
+            value = evaluate(term.source_expr, EvalEnv(row), ctx)
+            index.setdefault(value, []).append(position)
+    except TypeError:
+        cache[key] = None  # unhashable dimension values: no index
+        return None
+    cache[key] = index
+    return index
+
+
+def _first_modifier_replaces(spec: ContextSpec) -> bool:
+    if spec.kind == "inherited" or not spec.modifiers:
+        return False
+    from repro.core.modifiers import BoundAll, BoundWhere
+
+    first = spec.modifiers[0]
+    if isinstance(first, BoundWhere):
+        return True
+    return isinstance(first, BoundAll) and first.dim_keys is None
+
+
+def _accept(terms: list[Term], row: tuple, ctx: ExecutionContext) -> bool:
+    for term in terms:
+        if not term.test(row, ctx):
+            return False
+    return True
+
+
+def _base_terms(
+    spec: ContextSpec,
+    env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+    formula_rows: Optional[list[tuple]],
+) -> list[Term]:
+    if spec.kind == "inherited":
+        if formula_rows is None:
+            raise ExecutionError(
+                "inherited measure context evaluated outside a formula"
+            )
+        return [
+            SemiMatchTerm(
+                tuple(formula_rows), spec.inherit_offsets, spec.inherit_dim_exprs
+            )
+        ]
+
+    terms: list[Term] = []
+    bitmap = 0
+    if spec.grouping_id_offset is not None and env is not None:
+        bitmap = env.row[spec.grouping_id_offset] or 0
+    for term_spec in spec.group_terms:
+        if term_spec.grouping_bit is not None and (
+            (bitmap >> term_spec.grouping_bit) & 1
+        ):
+            # This dimension is rolled up in the current grouping set, so it
+            # contributes no term (paper Listing 8's grand-total row).
+            continue
+        value = evaluate(term_spec.value_expr, env, ctx) if env is not None else None
+        terms.append(EqTerm(term_spec.dim_key, term_spec.source_expr, value))
+    return terms
+
+
+def source_rows_for(
+    measure, ctx: ExecutionContext, env: Optional[EvalEnv]
+) -> list[tuple]:
+    """Materialize (and cache) the measure's source relation."""
+    from repro.engine.executor import execute_plan
+
+    plan = measure.group.source_plan
+    cache = getattr(ctx, "source_rows_cache", None)
+    if cache is None:
+        cache = {}
+        ctx.source_rows_cache = cache
+    key = id(plan)
+    if key not in cache:
+        # Source plans are self-contained (the defining query's FROM/WHERE),
+        # so no outer environment is needed.
+        cache[key] = execute_plan(plan, ctx, None)
+    return cache[key]

@@ -1,0 +1,242 @@
+"""Bound AT modifiers and their application to evaluation contexts.
+
+The AT operator (paper section 3.5, Table 3) transforms the evaluation
+context.  Modifiers apply **left to right**: ``cse AT (m1 m2)`` is equivalent
+to ``(cse AT (m2)) AT (m1)``, i.e. the context is transformed by m1 first and
+the result handed to m2.
+
+Application happens at runtime in :func:`apply_modifiers`, because SET values
+and WHERE predicates may reference the call-site row (correlations) and the
+incoming context (``CURRENT dim``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.core.context import (
+    ContextSpec,
+    EqTerm,
+    PredTerm,
+    Term,
+    VisibleTerm,
+)
+from repro.errors import MeasureError
+from repro.semantics import bound as b
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.evaluator import EvalEnv, ExecutionContext
+
+__all__ = [
+    "BoundModifier",
+    "BoundAll",
+    "BoundSet",
+    "BoundVisible",
+    "BoundWhere",
+    "apply_modifiers",
+    "build_visible_term",
+]
+
+
+class BoundModifier:
+    """Base class for bound context modifiers."""
+
+    def child_exprs(self) -> Iterator[b.BoundExpr]:
+        return iter(())
+
+
+@dataclass
+class BoundAll(BoundModifier):
+    """``ALL`` (dim_keys None: clear the entire context) or ``ALL dim...``
+    (remove the named dimensions' terms, keeping everything else)."""
+
+    dim_keys: Optional[list[str]] = None
+
+
+@dataclass
+class BoundSet(BoundModifier):
+    """``SET dim = value``: pin a dimension to a computed value.
+
+    ``value_expr`` is evaluated on the call-site row; any
+    :class:`~repro.semantics.bound.BoundCurrentDim` inside it reads the
+    incoming context.
+    """
+
+    dim_key: str
+    source_expr: b.BoundExpr
+    value_expr: b.BoundExpr
+
+    def child_exprs(self) -> Iterator[b.BoundExpr]:
+        yield self.value_expr
+
+
+@dataclass
+class BoundVisible(BoundModifier):
+    """``VISIBLE``: conjoin the query's WHERE clause and join conditions."""
+
+
+@dataclass
+class BoundWhere(BoundModifier):
+    """``WHERE predicate``: replace the context with ``predicate``.
+
+    The predicate is bound over the measure's source row; call-site columns
+    appear as outer references (depth >= 1).  ``outer_refs`` lists them for
+    memoization; ``label`` is the predicate's fingerprint.
+
+    Equality conjuncts of the form ``source_expr = call_site_expr`` are
+    decomposed at bind time into ``eq_pairs`` so that evaluation can use the
+    per-dimension source indexes; ``pred`` holds the residual conjuncts
+    (None when fully decomposed).
+    """
+
+    pred: Optional[b.BoundExpr]
+    outer_refs: list[tuple[int, int]] = field(default_factory=list)
+    label: str = ""
+    eq_pairs: list[tuple[b.BoundExpr, b.BoundExpr]] = field(default_factory=list)
+
+    def child_exprs(self) -> Iterator[b.BoundExpr]:
+        return iter(())
+
+
+def apply_modifiers(
+    terms: list[Term],
+    spec: ContextSpec,
+    env: Optional["EvalEnv"],
+    ctx: "ExecutionContext",
+) -> list[Term]:
+    """Apply ``spec.modifiers`` to ``terms``, left to right."""
+    for modifier in spec.modifiers:
+        if isinstance(modifier, BoundAll):
+            if modifier.dim_keys is None:
+                terms = []
+            else:
+                removed = set(modifier.dim_keys)
+                terms = [t for t in terms if t.dim_key not in removed]
+        elif isinstance(modifier, BoundSet):
+            value = _evaluate_set_value(modifier, terms, env, ctx)
+            terms = [t for t in terms if t.dim_key != modifier.dim_key]
+            terms = terms + [EqTerm(modifier.dim_key, modifier.source_expr, value)]
+        elif isinstance(modifier, BoundVisible):
+            visible = build_visible_term(spec, env)
+            if visible is not None:
+                terms = terms + [visible]
+        elif isinstance(modifier, BoundWhere):
+            terms = _build_where_terms(modifier, env, ctx)
+        else:  # pragma: no cover - defensive
+            raise MeasureError(f"unknown modifier {type(modifier).__name__}")
+    return terms
+
+
+def _evaluate_set_value(
+    modifier: BoundSet,
+    terms: list[Term],
+    env: Optional["EvalEnv"],
+    ctx: "ExecutionContext",
+) -> Any:
+    from repro.engine.evaluator import evaluate
+
+    def lookup(dim_key: str) -> Any:
+        # CURRENT dim: the single value the context pins the dimension to,
+        # NULL when the dimension is unconstrained (paper section 3.5).
+        for term in terms:
+            if term.dim_key == dim_key:
+                pinned, value = term.current_value()
+                if pinned:
+                    return value
+        return None
+
+    substituted = substitute_current(modifier.value_expr, lookup)
+    return evaluate(substituted, env, ctx)
+
+
+def substitute_current(expr: b.BoundExpr, lookup) -> b.BoundExpr:
+    """Replace every BoundCurrentDim with a literal from ``lookup``."""
+    if isinstance(expr, b.BoundCurrentDim):
+        return b.BoundLiteral(lookup(expr.dim_key), expr.dtype)
+    changes = {}
+    for f in dataclasses.fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, f.name)
+        if isinstance(value, b.BoundExpr):
+            new = substitute_current(value, lookup)
+            if new is not value:
+                changes[f.name] = new
+        elif isinstance(value, list) and value and isinstance(value[0], b.BoundExpr):
+            new_list = [substitute_current(item, lookup) for item in value]
+            if any(a is not old for a, old in zip(new_list, value)):
+                changes[f.name] = new_list
+        elif (
+            isinstance(value, list)
+            and value
+            and isinstance(value[0], tuple)
+            and len(value[0]) == 2
+            and isinstance(value[0][0], b.BoundExpr)
+        ):
+            new_pairs = [
+                (substitute_current(cond, lookup), substitute_current(result, lookup))
+                for cond, result in value
+            ]
+            changes[f.name] = new_pairs
+    if not changes:
+        return expr
+    return dataclasses.replace(expr, **changes)  # type: ignore[arg-type]
+
+
+def _build_where_terms(
+    modifier: BoundWhere,
+    env: Optional["EvalEnv"],
+    ctx: "ExecutionContext",
+) -> list[Term]:
+    from repro.engine.evaluator import EvalEnv, evaluate
+
+    terms: list[Term] = []
+    for source_expr, value_expr in modifier.eq_pairs:
+        # The value side references the call site at depth 1.  dim_key=None:
+        # these are predicate terms, not removable dimension terms.
+        value = evaluate(value_expr, EvalEnv((), env), ctx)
+        terms.append(EqTerm(None, source_expr, value, strict=True))
+    if modifier.pred is not None:
+        key_values: tuple = ()
+        if modifier.outer_refs and env is not None:
+            try:
+                key_values = tuple(
+                    env.at_depth(depth - 1).row[offset]
+                    for depth, offset in modifier.outer_refs
+                )
+            except Exception:  # noqa: BLE001 - fall back to uncacheable
+                key_values = (object(),)
+        terms.append(PredTerm(modifier.pred, env, key_values, modifier.label))
+    return terms
+
+
+def build_visible_term(
+    spec: ContextSpec,
+    env: Optional["EvalEnv"],
+) -> Optional[VisibleTerm]:
+    """Materialize the VISIBLE term for the current call site.
+
+    The visible row set is the current group's input rows (captured by the
+    Aggregate operator) or, at row-grain call sites, the current row itself.
+    """
+    info = spec.visible
+    if info is None:
+        return None
+    if not info.preds:
+        # Nothing filters the query; VISIBLE adds no constraint.
+        return None
+    if spec.captured_rows_offset is not None and env is not None:
+        group_rows = env.row[spec.captured_rows_offset]
+    elif env is not None:
+        group_rows = (env.row,)
+    else:
+        group_rows = ()
+    parent = env.parent if env is not None else None
+    return VisibleTerm(
+        preds=info.preds,
+        group_rows=group_rows,
+        range_start=info.range_start,
+        range_end=info.range_end,
+        offset_dim_exprs=info.offset_dim_exprs,
+        parent_env=parent,
+    )

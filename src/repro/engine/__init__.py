@@ -1,0 +1,6 @@
+"""Execution engine: evaluator, operators, functions, aggregates, windows."""
+
+from repro.engine.evaluator import EvalEnv, ExecutionContext, evaluate
+from repro.engine.executor import execute_plan
+
+__all__ = ["EvalEnv", "ExecutionContext", "evaluate", "execute_plan"]

@@ -1,0 +1,365 @@
+"""Window function execution.
+
+The :class:`~repro.plan.logical.Window` operator appends one column per
+window call.  Rows are partitioned, ordered within each partition, and each
+call is computed per row.  Supported calls:
+
+* ranking: ROW_NUMBER, RANK, DENSE_RANK, PERCENT_RANK, CUME_DIST, NTILE
+* navigation: LAG, LEAD, FIRST_VALUE, LAST_VALUE
+* any aggregate from :mod:`repro.engine.aggregates`, with ROWS/RANGE frames
+  (RANGE frames support UNBOUNDED/CURRENT ROW bounds)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engine.aggregates import is_aggregate_function, make_accumulator
+from repro.engine.evaluator import EvalEnv, ExecutionContext, evaluate
+from repro.errors import ExecutionError, UnsupportedError
+from repro.semantics import bound as b
+from repro.types import SortKey
+
+__all__ = ["compute_window_column", "RANKING_FUNCTIONS", "is_window_only_function"]
+
+RANKING_FUNCTIONS = frozenset(
+    {
+        "ROW_NUMBER",
+        "RANK",
+        "DENSE_RANK",
+        "PERCENT_RANK",
+        "CUME_DIST",
+        "NTILE",
+        "LAG",
+        "LEAD",
+    }
+)
+
+
+def is_window_only_function(name: str) -> bool:
+    """Functions that are only valid with an OVER clause."""
+    return name.upper() in RANKING_FUNCTIONS
+
+
+def compute_window_column(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> list[Any]:
+    """Compute one window call over ``rows``; returns one value per input row
+    in the original row order."""
+    results: list[Any] = [None] * len(rows)
+    partitions: dict[tuple, list[int]] = {}
+    for index, row in enumerate(rows):
+        env = EvalEnv(row, outer_env)
+        key = tuple(evaluate(expr, env, ctx) for expr in call.partition_by)
+        partitions.setdefault(key, []).append(index)
+
+    for indexes in partitions.values():
+        ordered = _order_partition(call, rows, indexes, outer_env, ctx)
+        _compute_partition(call, rows, ordered, results, outer_env, ctx)
+    return results
+
+
+def _order_partition(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    indexes: list[int],
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> list[int]:
+    if not call.order_by:
+        return indexes
+
+    def decorate(index: int):
+        env = EvalEnv(rows[index], outer_env)
+        keys = []
+        for spec in call.order_by:
+            value = evaluate(spec.expr, env, ctx)
+            nulls_first = spec.nulls_first
+            if nulls_first is None:
+                nulls_first = spec.descending
+            if value is None:
+                null_rank = 0 if nulls_first else 2
+            else:
+                null_rank = 1
+            keys.append((null_rank, _Directed(SortKey(value), spec.descending)))
+        return tuple(keys)
+
+    return sorted(indexes, key=decorate)
+
+
+class _Directed:
+    __slots__ = ("key", "descending")
+
+    def __init__(self, key: SortKey, descending: bool):
+        self.key = key
+        self.descending = descending
+
+    def __lt__(self, other: "_Directed") -> bool:
+        if self.descending:
+            return other.key < self.key
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Directed):
+            return NotImplemented
+        return self.key == other.key
+
+
+def _order_keys(
+    call: b.BoundWindowCall,
+    row: tuple,
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> tuple:
+    env = EvalEnv(row, outer_env)
+    return tuple(evaluate(spec.expr, env, ctx) for spec in call.order_by)
+
+
+def _compute_partition(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    ordered: list[int],
+    results: list[Any],
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> None:
+    func = call.func.upper()
+    size = len(ordered)
+
+    if func in ("ROW_NUMBER", "RANK", "DENSE_RANK", "PERCENT_RANK", "CUME_DIST", "NTILE"):
+        keys = [_order_keys(call, rows[i], outer_env, ctx) for i in ordered]
+        _rank_functions(func, call, ordered, keys, results, rows, outer_env, ctx)
+        return
+
+    if func in ("LAG", "LEAD"):
+        offset_expr = call.args[1] if len(call.args) > 1 else None
+        default_expr = call.args[2] if len(call.args) > 2 else None
+        for position, index in enumerate(ordered):
+            env = EvalEnv(rows[index], outer_env)
+            step = 1
+            if offset_expr is not None:
+                step_val = evaluate(offset_expr, env, ctx)
+                step = int(step_val) if step_val is not None else 1
+            target = position - step if func == "LAG" else position + step
+            if 0 <= target < size:
+                target_env = EvalEnv(rows[ordered[target]], outer_env)
+                results[index] = evaluate(call.args[0], target_env, ctx)
+            elif default_expr is not None:
+                results[index] = evaluate(default_expr, env, ctx)
+            else:
+                results[index] = None
+        return
+
+    if func in ("FIRST_VALUE", "LAST_VALUE") and not call.frame:
+        # Default frame semantics: FIRST_VALUE sees the first row; LAST_VALUE
+        # with ORDER BY sees up to the current row's peer group.
+        for position, index in enumerate(ordered):
+            if func == "FIRST_VALUE":
+                source = ordered[0]
+            elif call.order_by:
+                end = _peer_end(call, rows, ordered, position, outer_env, ctx)
+                source = ordered[end]
+            else:
+                source = ordered[-1]
+            env = EvalEnv(rows[source], outer_env)
+            results[index] = evaluate(call.args[0], env, ctx)
+        return
+
+    if not is_aggregate_function(func) and func not in ("FIRST_VALUE", "LAST_VALUE"):
+        raise ExecutionError(f"unknown window function {func}")
+
+    if call.frame is None:
+        _aggregate_default_frame(call, rows, ordered, results, outer_env, ctx)
+        return
+
+    for position, index in enumerate(ordered):
+        start, end = _frame_bounds(call, rows, ordered, position, outer_env, ctx)
+        accumulator = make_accumulator(func, call.star)
+        seen: set = set()
+        for frame_position in range(start, end + 1):
+            if not (0 <= frame_position < size):
+                continue
+            frame_env = EvalEnv(rows[ordered[frame_position]], outer_env)
+            if call.star:
+                accumulator.add(True)
+                continue
+            value = evaluate(call.args[0], frame_env, ctx)
+            if call.distinct:
+                if value is None or value in seen:
+                    continue
+                seen.add(value)
+            accumulator.add(value)
+        results[index] = accumulator.result()
+
+
+def _aggregate_default_frame(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    ordered: list[int],
+    results: list[Any],
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> None:
+    """O(n) evaluation of aggregate windows with the default frame.
+
+    Without ORDER BY the frame is the whole partition (one aggregation);
+    with ORDER BY it is RANGE UNBOUNDED PRECEDING .. CURRENT ROW, which we
+    compute incrementally, assigning each peer group the running result.
+    """
+    accumulator = make_accumulator(call.func, call.star)
+    seen: set = set()
+
+    def add(index: int) -> None:
+        env = EvalEnv(rows[index], outer_env)
+        if call.star:
+            accumulator.add(True)
+            return
+        value = evaluate(call.args[0], env, ctx)
+        if call.distinct:
+            if value is None or value in seen:
+                return
+            seen.add(value)
+        accumulator.add(value)
+
+    if not call.order_by:
+        for index in ordered:
+            add(index)
+        value = accumulator.result()
+        for index in ordered:
+            results[index] = value
+        return
+
+    keys = [_order_keys(call, rows[i], outer_env, ctx) for i in ordered]
+    position = 0
+    size = len(ordered)
+    while position < size:
+        end = position
+        while end + 1 < size and keys[end + 1] == keys[position]:
+            end += 1
+        for cursor in range(position, end + 1):
+            add(ordered[cursor])
+        value = accumulator.result()
+        for cursor in range(position, end + 1):
+            results[ordered[cursor]] = value
+        position = end + 1
+
+
+def _rank_functions(
+    func: str,
+    call: b.BoundWindowCall,
+    ordered: list[int],
+    keys: list[tuple],
+    results: list[Any],
+    rows: list[tuple],
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> None:
+    size = len(ordered)
+    if func == "NTILE":
+        env = EvalEnv(rows[ordered[0]], outer_env) if ordered else None
+        buckets = int(evaluate(call.args[0], env, ctx)) if call.args else 1
+        if buckets <= 0:
+            raise ExecutionError("NTILE bucket count must be positive")
+        base, extra = divmod(size, buckets)
+        position = 0
+        for bucket in range(buckets):
+            width = base + (1 if bucket < extra else 0)
+            for _ in range(width):
+                if position < size:
+                    results[ordered[position]] = bucket + 1
+                    position += 1
+        return
+
+    rank = 0
+    dense = 0
+    previous: Optional[tuple] = None
+    ranks: list[int] = []
+    denses: list[int] = []
+    for position in range(size):
+        if previous is None or keys[position] != previous:
+            rank = position + 1
+            dense += 1
+            previous = keys[position]
+        ranks.append(rank)
+        denses.append(dense)
+
+    for position, index in enumerate(ordered):
+        if func == "ROW_NUMBER":
+            results[index] = position + 1
+        elif func == "RANK":
+            results[index] = ranks[position]
+        elif func == "DENSE_RANK":
+            results[index] = denses[position]
+        elif func == "PERCENT_RANK":
+            results[index] = 0.0 if size == 1 else (ranks[position] - 1) / (size - 1)
+        elif func == "CUME_DIST":
+            # Number of rows with key <= current key.
+            count = ranks[position] - 1
+            while count < size and keys[count] == keys[position]:
+                count += 1
+            results[index] = count / size
+
+
+def _peer_end(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    ordered: list[int],
+    position: int,
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> int:
+    current = _order_keys(call, rows[ordered[position]], outer_env, ctx)
+    end = position
+    while end + 1 < len(ordered):
+        if _order_keys(call, rows[ordered[end + 1]], outer_env, ctx) != current:
+            break
+        end += 1
+    return end
+
+
+def _frame_bounds(
+    call: b.BoundWindowCall,
+    rows: list[tuple],
+    ordered: list[int],
+    position: int,
+    outer_env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+) -> tuple[int, int]:
+    size = len(ordered)
+    if call.frame is None:
+        if not call.order_by:
+            return 0, size - 1
+        return 0, _peer_end(call, rows, ordered, position, outer_env, ctx)
+
+    unit, start_kind, start_off, end_kind, end_off = call.frame
+
+    def resolve(kind: str, offset_expr, *, is_start: bool) -> int:
+        if kind == "UNBOUNDED_PRECEDING":
+            return 0
+        if kind == "UNBOUNDED_FOLLOWING":
+            return size - 1
+        if kind == "CURRENT_ROW":
+            if unit == "RANGE" and call.order_by:
+                if is_start:
+                    # First peer of the current row.
+                    start = position
+                    current = _order_keys(call, rows[ordered[position]], outer_env, ctx)
+                    while start > 0 and _order_keys(
+                        call, rows[ordered[start - 1]], outer_env, ctx
+                    ) == current:
+                        start -= 1
+                    return start
+                return _peer_end(call, rows, ordered, position, outer_env, ctx)
+            return position
+        if unit == "RANGE":
+            raise UnsupportedError("RANGE frames with offsets are not supported")
+        env = EvalEnv(rows[ordered[position]], outer_env)
+        delta = int(evaluate(offset_expr, env, ctx))
+        return position - delta if kind == "PRECEDING" else position + delta
+
+    start = resolve(start_kind, start_off, is_start=True)
+    end = resolve(end_kind, end_off, is_start=False)
+    return max(start, 0), min(end, size - 1)

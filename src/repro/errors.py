@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro SQL engine.
+
+Every user-facing failure raised by the library derives from :class:`SqlError`
+so that applications can catch one exception type at the API boundary.  The
+subclasses mirror the stage of query processing that detected the problem,
+which makes test assertions and error reporting precise.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class LexerError(SqlError):
+    """Raised when the tokenizer encounters malformed input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Raised during semantic analysis: unknown names, ambiguity, misuse of
+    aggregates, invalid measure references, and similar static errors."""
+
+
+class CatalogError(SqlError):
+    """Raised for catalog problems: missing or duplicate tables and views,
+    arity mismatches in DDL/DML, and schema violations."""
+
+
+class TypeCheckError(BindError):
+    """Raised when an expression is applied to operands of an unsupported type."""
+
+
+class ExecutionError(SqlError):
+    """Raised when a runtime evaluation fails (division by zero, a scalar
+    subquery returning more than one row, cast failures, ...)."""
+
+
+class MeasureError(BindError):
+    """Raised for invalid measure definitions or uses: recursive measures,
+    ``AT`` applied to a non-measure, ``CURRENT`` outside a ``SET`` modifier,
+    unknown dimensions, and similar."""
+
+
+class UnsupportedError(SqlError):
+    """Raised for syntactically valid SQL that this engine does not implement."""

@@ -1,0 +1,6 @@
+"""Logical plans and the rule-based optimizer."""
+
+from repro.plan.logical import LogicalPlan, plan_tree_string
+from repro.plan.optimizer import optimize
+
+__all__ = ["LogicalPlan", "optimize", "plan_tree_string"]

@@ -1,0 +1,270 @@
+"""Logical plan optimizer.
+
+A small rule-based optimizer applied between binding and execution:
+
+* **constant folding** — literal-only scalar expressions are evaluated once;
+* **filter merging** — adjacent Filter nodes combine into one;
+* **filter pushdown** — Filters move below Projects (when the projection is
+  column-pruning) and into the probe side of inner joins when the predicate
+  only references one side;
+* **trivial project elimination** — identity Projects are dropped.
+
+The optimizer never rewrites measure machinery (BoundMeasureEval contexts
+reference column offsets that must stay stable), so rules bail out whenever a
+measure evaluation is involved.  The A02 ablation benchmark runs with the
+optimizer disabled to measure the rules' effect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.plan import logical as plans
+from repro.semantics import bound as b
+from repro.semantics.correlate import transform_expr
+from repro.types import BOOLEAN, infer_literal_type
+
+__all__ = ["optimize"]
+
+
+def optimize(plan: plans.LogicalPlan) -> plans.LogicalPlan:
+    """Apply the rule set bottom-up until a fixpoint (bounded)."""
+    for _ in range(5):
+        new_plan, changed = _rewrite(plan)
+        plan = new_plan
+        if not changed:
+            break
+    return plan
+
+
+def _rewrite(plan: plans.LogicalPlan) -> tuple[plans.LogicalPlan, bool]:
+    changed = False
+
+    # Recurse into inputs first.
+    if isinstance(plan, plans.Filter):
+        child, child_changed = _rewrite(plan.input)
+        if child_changed:
+            plan = plans.Filter(child, plan.predicate)
+            changed = True
+    elif isinstance(plan, plans.Project):
+        child, child_changed = _rewrite(plan.input)
+        if child_changed:
+            plan = plans.Project(child, plan.exprs, plan.schema)
+            changed = True
+    elif isinstance(plan, plans.Join):
+        left, left_changed = _rewrite(plan.left)
+        right, right_changed = _rewrite(plan.right)
+        if left_changed or right_changed:
+            plan = plans.Join(plan.kind, left, right, plan.condition, list(plan.schema))
+            changed = True
+    elif isinstance(plan, plans.Aggregate):
+        child, child_changed = _rewrite(plan.input)
+        if child_changed:
+            plan = plans.Aggregate(
+                child,
+                plan.group_exprs,
+                plan.agg_calls,
+                plan.grouping_sets,
+                plan.schema,
+                plan.emit_grouping_id,
+                plan.capture_rows,
+            )
+            changed = True
+    elif isinstance(plan, (plans.Sort, plans.Limit, plans.Distinct)):
+        child, child_changed = _rewrite(plan.input)
+        if child_changed:
+            if isinstance(plan, plans.Sort):
+                plan = plans.Sort(child, plan.keys)
+            elif isinstance(plan, plans.Limit):
+                plan = plans.Limit(child, plan.limit, plan.offset)
+            else:
+                plan = plans.Distinct(child)
+            changed = True
+    elif isinstance(plan, plans.SetOpPlan):
+        left, lc = _rewrite(plan.left)
+        right, rc = _rewrite(plan.right)
+        if lc or rc:
+            plan = plans.SetOpPlan(plan.op, plan.all, left, right)
+            changed = True
+    elif isinstance(plan, plans.Window):
+        child, child_changed = _rewrite(plan.input)
+        if child_changed:
+            plan = plans.Window(child, plan.calls, plan.schema)
+            changed = True
+
+    # Apply local rules.
+    rewritten = _fold_plan_constants(plan)
+    if rewritten is not None:
+        return rewritten, True
+    rewritten = _merge_filters(plan)
+    if rewritten is not None:
+        return rewritten, True
+    rewritten = _push_filter_into_join(plan)
+    if rewritten is not None:
+        return rewritten, True
+    rewritten = _drop_identity_project(plan)
+    if rewritten is not None:
+        return rewritten, True
+    return plan, changed
+
+
+def _is_pure(expr: b.BoundExpr) -> bool:
+    """True when the expression is literal-only and side-effect free."""
+    if isinstance(expr, b.BoundLiteral):
+        return True
+    if isinstance(expr, b.BoundCall) and expr.op not in ("$GROUPING",):
+        return all(_is_pure(arg) for arg in expr.args)
+    if isinstance(expr, b.BoundCase):
+        parts = [c for pair in expr.whens for c in pair]
+        if expr.else_result is not None:
+            parts.append(expr.else_result)
+        return all(_is_pure(p) for p in parts)
+    if isinstance(expr, b.BoundCast):
+        return _is_pure(expr.operand)
+    return False
+
+
+def fold_constants(expr: b.BoundExpr) -> b.BoundExpr:
+    """Evaluate literal-only subtrees once."""
+
+    def visit(node: b.BoundExpr) -> Optional[b.BoundExpr]:
+        if isinstance(node, b.BoundLiteral):
+            return node
+        if _is_pure(node):
+            from repro.engine.evaluator import EvalEnv, ExecutionContext, evaluate
+
+            try:
+                value = evaluate(node, EvalEnv(()), ExecutionContext(None))
+            except SqlError:
+                return node  # fold nothing that errors (e.g. 1/0 under CASE)
+            return b.BoundLiteral(value, infer_literal_type(value))
+        return None
+
+    return transform_expr(expr, visit)
+
+
+def _fold_plan_constants(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    if isinstance(plan, plans.Filter):
+        folded = fold_constants(plan.predicate)
+        if isinstance(folded, b.BoundLiteral):
+            if folded.value is True:
+                return plan.input
+            # FALSE/NULL filter: keep the node (executor returns no rows
+            # quickly anyway) but only rewrite once to avoid loops.
+            if folded is not plan.predicate:
+                return plans.Filter(plan.input, folded)
+            return None
+        if folded is not plan.predicate:
+            return plans.Filter(plan.input, folded)
+    if isinstance(plan, plans.Project):
+        folded = [fold_constants(e) for e in plan.exprs]
+        if any(new is not old for new, old in zip(folded, plan.exprs)):
+            return plans.Project(plan.input, folded, plan.schema)
+    return None
+
+
+def _merge_filters(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    from repro.types import sql_and
+
+    if isinstance(plan, plans.Filter) and isinstance(plan.input, plans.Filter):
+        inner = plan.input
+        merged = b.BoundCall(
+            "AND", [inner.predicate, plan.predicate], BOOLEAN, sql_and
+        )
+        return plans.Filter(inner.input, merged)
+    return None
+
+
+def _references_measures(expr: b.BoundExpr) -> bool:
+    return any(
+        isinstance(node, (b.BoundMeasureEval, b.BoundSubquery))
+        for node in b.walk(expr)
+    )
+
+
+def _push_filter_into_join(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    if not (isinstance(plan, plans.Filter) and isinstance(plan.input, plans.Join)):
+        return None
+    join = plan.input
+    if join.kind != "INNER":
+        return None
+    if _references_measures(plan.predicate):
+        return None
+    left_width = len(join.left.schema)
+
+    def side_of(expr: b.BoundExpr) -> Optional[str]:
+        sides = set()
+        for node in b.walk(expr):
+            if isinstance(node, b.BoundColumn):
+                sides.add("L" if node.offset < left_width else "R")
+            elif isinstance(node, b.BoundOuterColumn):
+                return None
+        if len(sides) == 1:
+            return sides.pop()
+        return None
+
+    conjuncts = _split_and(plan.predicate)
+    left_preds, right_preds, rest = [], [], []
+    for conjunct in conjuncts:
+        side = side_of(conjunct)
+        if side == "L":
+            left_preds.append(conjunct)
+        elif side == "R":
+            right_preds.append(_shift(conjunct, -left_width))
+        else:
+            rest.append(conjunct)
+    if not left_preds and not right_preds:
+        return None
+    new_left = join.left
+    new_right = join.right
+    if left_preds:
+        new_left = plans.Filter(join.left, _and_all(left_preds))
+    if right_preds:
+        new_right = plans.Filter(join.right, _and_all(right_preds))
+    new_join = plans.Join(join.kind, new_left, new_right, join.condition, list(join.schema))
+    if rest:
+        return plans.Filter(new_join, _and_all(rest))
+    return new_join
+
+
+def _split_and(expr: b.BoundExpr) -> list[b.BoundExpr]:
+    if isinstance(expr, b.BoundCall) and expr.op == "AND":
+        result = []
+        for arg in expr.args:
+            result.extend(_split_and(arg))
+        return result
+    return [expr]
+
+
+def _and_all(conjuncts: list[b.BoundExpr]) -> b.BoundExpr:
+    from repro.types import sql_and
+
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = b.BoundCall("AND", [result, conjunct], BOOLEAN, sql_and)
+    return result
+
+
+def _shift(expr: b.BoundExpr, delta: int) -> b.BoundExpr:
+    def visit(node: b.BoundExpr) -> Optional[b.BoundExpr]:
+        if isinstance(node, b.BoundColumn):
+            return b.BoundColumn(node.offset + delta, node.dtype, node.name)
+        return None
+
+    return transform_expr(expr, visit)
+
+
+def _drop_identity_project(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    if not isinstance(plan, plans.Project):
+        return None
+    if len(plan.exprs) != len(plan.input.schema):
+        return None
+    for index, expr in enumerate(plan.exprs):
+        if not (isinstance(expr, b.BoundColumn) and expr.offset == index):
+            return None
+    # Keep output names: only drop when they match the input's, otherwise the
+    # projection is a (cheap but meaningful) rename.
+    if [name for name, _ in plan.schema] != [name for name, _ in plan.input.schema]:
+        return None
+    return plan.input

@@ -1,0 +1,85 @@
+"""Query results: rows, column metadata, and pretty-printing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.types import DataType, format_value
+
+__all__ = ["ResultColumn", "Result"]
+
+
+@dataclass(frozen=True)
+class ResultColumn:
+    name: str
+    dtype: DataType
+
+
+@dataclass
+class Result:
+    """The outcome of one statement.
+
+    For queries, ``rows`` holds tuples in ``columns`` order.  For DDL/DML,
+    ``rows`` is empty and ``rowcount``/``message`` describe the effect.
+    """
+
+    columns: list[ResultColumn] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    message: str = ""
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of the named column."""
+        lowered = name.lower()
+        for index, col in enumerate(self.columns):
+            if col.name.lower() == lowered:
+                return [row[index] for row in self.rows]
+        raise KeyError(name)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def pretty(self, max_rows: Optional[int] = None) -> str:
+        """Format as an aligned text table (the paper's listing style)."""
+        if not self.columns:
+            return self.message or f"OK ({self.rowcount} rows affected)"
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        headers = self.column_names
+        cells = [[format_value(v) for v in row] for row in rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+            "  ".join("=" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()

@@ -1,0 +1,15 @@
+"""Semantic analysis: scopes, bound IR, and the query binder.
+
+Submodules are imported lazily to keep the bound-IR module importable from
+the engine without dragging in the full binder (which depends on the engine).
+"""
+
+__all__ = ["Binder", "BoundRelation", "OutputColumn"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from repro.semantics import binder
+
+        return getattr(binder, name)
+    raise AttributeError(name)

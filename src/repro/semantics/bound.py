@@ -1,0 +1,354 @@
+"""Bound expression IR.
+
+The binder translates AST expressions into this IR.  Bound expressions
+reference their inputs by **column offset** into the current operator's input
+row (a flat tuple), which makes evaluation fast and makes expression identity
+well-defined: :func:`fingerprint` renders a canonical string used for
+
+* matching SELECT expressions against GROUP BY expressions,
+* identifying dimensions in ``AT (ALL dim)`` / ``AT (SET dim = ...)``,
+* memoization keys for measure evaluation and correlated subqueries.
+
+Correlated references into an enclosing query's row are
+:class:`BoundOuterColumn` with a ``depth`` (1 = immediately enclosing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.sql.printer import format_literal
+from repro.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.context import ContextSpec
+    from repro.core.definition import MeasureInstance
+    from repro.plan.logical import LogicalPlan
+
+__all__ = [
+    "BoundExpr",
+    "BoundLiteral",
+    "BoundColumn",
+    "BoundParameter",
+    "BoundOuterColumn",
+    "BoundCall",
+    "BoundCase",
+    "BoundCast",
+    "BoundInList",
+    "BoundAggCall",
+    "BoundAggRef",
+    "BoundWindowCall",
+    "BoundGroupingId",
+    "BoundSubquery",
+    "BoundMeasureEval",
+    "BoundCurrentDim",
+    "fingerprint",
+    "walk",
+    "max_outer_depth",
+    "contains_aggregate",
+    "SortSpec",
+]
+
+
+class BoundExpr:
+    """Base class of all bound expressions."""
+
+    dtype: DataType
+
+    def children(self) -> Iterator["BoundExpr"]:
+        return iter(())
+
+
+@dataclass
+class BoundLiteral(BoundExpr):
+    value: Any
+    dtype: DataType
+
+
+@dataclass
+class BoundParameter(BoundExpr):
+    """A positional query parameter, read from the execution context."""
+
+    index: int
+    dtype: DataType
+
+
+@dataclass
+class BoundColumn(BoundExpr):
+    """A column of the current operator's input row."""
+
+    offset: int
+    dtype: DataType
+    name: str = ""
+
+
+@dataclass
+class BoundOuterColumn(BoundExpr):
+    """A correlated reference to an enclosing query's row."""
+
+    depth: int
+    offset: int
+    dtype: DataType
+    name: str = ""
+
+
+@dataclass
+class BoundCall(BoundExpr):
+    """A scalar function or operator call.
+
+    ``op`` is the canonical name (e.g. ``+``, ``AND``, ``YEAR``); ``fn`` is
+    the runtime callable taking evaluated argument values.
+    """
+
+    op: str
+    args: list[BoundExpr]
+    dtype: DataType
+    fn: Callable[..., Any]
+
+    def children(self) -> Iterator[BoundExpr]:
+        return iter(self.args)
+
+
+@dataclass
+class BoundCase(BoundExpr):
+    """Searched CASE (simple CASE is desugared by the binder)."""
+
+    whens: list[tuple[BoundExpr, BoundExpr]]
+    else_result: Optional[BoundExpr]
+    dtype: DataType
+
+    def children(self) -> Iterator[BoundExpr]:
+        for cond, result in self.whens:
+            yield cond
+            yield result
+        if self.else_result is not None:
+            yield self.else_result
+
+
+@dataclass
+class BoundCast(BoundExpr):
+    operand: BoundExpr
+    dtype: DataType
+
+    def children(self) -> Iterator[BoundExpr]:
+        yield self.operand
+
+
+@dataclass
+class BoundInList(BoundExpr):
+    operand: BoundExpr
+    items: list[BoundExpr]
+    negated: bool
+    dtype: DataType
+
+    def children(self) -> Iterator[BoundExpr]:
+        yield self.operand
+        yield from self.items
+
+
+@dataclass
+class BoundAggCall(BoundExpr):
+    """An aggregate function call, evaluated over a set of rows.
+
+    Appears in two places: inside :class:`~repro.plan.logical.Aggregate`
+    nodes (the normal case) and inside measure formulas, where the row set is
+    the measure's context-filtered source rows.
+    """
+
+    func: str
+    args: list[BoundExpr]
+    distinct: bool
+    star: bool
+    filter_where: Optional[BoundExpr]
+    dtype: DataType
+    order_by: list["SortSpec"] = field(default_factory=list)
+    within_distinct: list[BoundExpr] = field(default_factory=list)
+
+    def children(self) -> Iterator[BoundExpr]:
+        yield from self.args
+        if self.filter_where is not None:
+            yield self.filter_where
+        for spec in self.order_by:
+            yield spec.expr
+        yield from self.within_distinct
+
+
+@dataclass
+class SortSpec:
+    """One ORDER BY key: expression + direction + null placement."""
+
+    expr: BoundExpr
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+@dataclass
+class BoundAggRef(BoundExpr):
+    """Reference to an aggregate slot in the Aggregate operator's output."""
+
+    index: int
+    dtype: DataType
+
+
+@dataclass
+class BoundWindowCall(BoundExpr):
+    """A window function call (evaluated by the Window operator)."""
+
+    func: str
+    args: list[BoundExpr]
+    partition_by: list[BoundExpr]
+    order_by: list[SortSpec]
+    frame: Optional[tuple]  # (unit, start_kind, start_off, end_kind, end_off)
+    dtype: DataType
+    distinct: bool = False
+    star: bool = False
+
+    def children(self) -> Iterator[BoundExpr]:
+        yield from self.args
+        yield from self.partition_by
+        for spec in self.order_by:
+            yield spec.expr
+
+
+@dataclass
+class BoundGroupingId(BoundExpr):
+    """``GROUPING(...)`` / ``GROUPING_ID(...)``: reads the grouping bitmap.
+
+    ``grouping_column`` is the offset of the hidden grouping-id column in the
+    Aggregate output; ``key_indexes`` are the positions (within the group key
+    list) of the argument dimensions, most significant first.
+    """
+
+    grouping_column: int
+    key_indexes: list[int]
+    dtype: DataType
+
+
+@dataclass
+class BoundSubquery(BoundExpr):
+    """A scalar / EXISTS / IN subquery with its own plan.
+
+    ``outer_refs`` lists the (depth, offset) pairs of every correlated
+    reference *as seen from inside the subquery* (depth >= 1); the executor
+    uses their runtime values as a memoization key.
+    """
+
+    plan: "LogicalPlan"
+    kind: str  # 'SCALAR' | 'EXISTS' | 'IN'
+    dtype: DataType
+    operand: Optional[BoundExpr] = None  # for IN
+    negated: bool = False
+    outer_refs: list[tuple[int, int]] = field(default_factory=list)
+
+    def children(self) -> Iterator[BoundExpr]:
+        if self.operand is not None:
+            yield self.operand
+
+
+@dataclass
+class BoundMeasureEval(BoundExpr):
+    """Evaluation of a measure (a CSE) at a call site.
+
+    This is the paper's ``EVAL(m AT (...))``: ``measure`` identifies the
+    measure and its source relation, ``context`` describes how to build the
+    evaluation-context predicate from the current row.
+    """
+
+    measure: "MeasureInstance"
+    context: "ContextSpec"
+    dtype: DataType
+
+    def children(self) -> Iterator[BoundExpr]:
+        yield from self.context.child_exprs()
+
+
+@dataclass
+class BoundCurrentDim(BoundExpr):
+    """``CURRENT dim`` inside an AT modifier: reads the dimension's pinned
+    value from the evaluation context being modified (NULL if unconstrained)."""
+
+    dim_key: str
+    dtype: DataType
+
+
+# ---------------------------------------------------------------------------
+# Utilities
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: BoundExpr) -> Iterator[BoundExpr]:
+    """Yield ``expr`` and all descendants, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def max_outer_depth(expr: BoundExpr) -> int:
+    """Deepest enclosing-scope reference in ``expr`` (0 = uncorrelated)."""
+    depth = 0
+    for node in walk(expr):
+        if isinstance(node, BoundOuterColumn):
+            depth = max(depth, node.depth)
+        elif isinstance(node, BoundSubquery):
+            for ref_depth, _ in node.outer_refs:
+                # Refs at depth d inside the subquery point d-1 levels above us.
+                depth = max(depth, ref_depth - 1)
+    return depth
+
+
+def contains_aggregate(expr: BoundExpr) -> bool:
+    return any(isinstance(node, BoundAggCall) for node in walk(expr))
+
+
+def fingerprint(expr: BoundExpr) -> str:
+    """A canonical string identity for a bound expression.
+
+    Two expressions with equal fingerprints compute the same value on the
+    same input row.  Used for GROUP BY matching and dimension keys.
+    """
+    if isinstance(expr, BoundLiteral):
+        return format_literal(expr.value)
+    if isinstance(expr, BoundParameter):
+        return f"?{expr.index}"
+    if isinstance(expr, BoundColumn):
+        return f"${expr.offset}"
+    if isinstance(expr, BoundOuterColumn):
+        return f"$up{expr.depth}.{expr.offset}"
+    if isinstance(expr, BoundCall):
+        args = ",".join(fingerprint(a) for a in expr.args)
+        return f"{expr.op}({args})"
+    if isinstance(expr, BoundCase):
+        whens = ",".join(
+            f"{fingerprint(c)}:{fingerprint(r)}" for c, r in expr.whens
+        )
+        tail = fingerprint(expr.else_result) if expr.else_result else ""
+        return f"CASE({whens};{tail})"
+    if isinstance(expr, BoundCast):
+        return f"CAST({fingerprint(expr.operand)} AS {expr.dtype})"
+    if isinstance(expr, BoundInList):
+        items = ",".join(fingerprint(i) for i in expr.items)
+        head = "NOTIN" if expr.negated else "IN"
+        return f"{head}({fingerprint(expr.operand)};{items})"
+    if isinstance(expr, BoundAggCall):
+        args = ",".join(fingerprint(a) for a in expr.args)
+        parts = [expr.func, "D" if expr.distinct else "", "*" if expr.star else "", args]
+        if expr.filter_where is not None:
+            parts.append(fingerprint(expr.filter_where))
+        if expr.within_distinct:
+            parts.append("W:" + ",".join(fingerprint(k) for k in expr.within_distinct))
+        return "AGG(" + "|".join(parts) + ")"
+    if isinstance(expr, BoundAggRef):
+        return f"$agg{expr.index}"
+    if isinstance(expr, BoundGroupingId):
+        keys = ",".join(str(i) for i in expr.key_indexes)
+        return f"GROUPING_ID({keys}@{expr.grouping_column})"
+    if isinstance(expr, BoundCurrentDim):
+        return f"CURRENT({expr.dim_key})"
+    if isinstance(expr, BoundMeasureEval):
+        return f"MEASURE({id(expr.measure)};{expr.context.fingerprint()})"
+    if isinstance(expr, BoundSubquery):
+        return f"SUBQ({id(expr.plan)})"
+    if isinstance(expr, BoundWindowCall):
+        return f"WIN({id(expr)})"
+    raise TypeError(f"no fingerprint for {type(expr).__name__}")

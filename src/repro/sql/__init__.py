@@ -1,0 +1,19 @@
+"""SQL front-end: lexer, AST, parser, printer, and traversal utilities."""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import (
+    parse_expression,
+    parse_query,
+    parse_statement,
+    parse_statements,
+)
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "parse_expression",
+    "parse_query",
+    "parse_statement",
+    "parse_statements",
+    "to_sql",
+    "tokenize",
+]

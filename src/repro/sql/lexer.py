@@ -1,0 +1,177 @@
+"""Hand-written SQL tokenizer.
+
+Supports:
+
+* line comments (``--``) and block comments (``/* ... */``),
+* single-quoted string literals with ``''`` escaping,
+* double-quoted and backquoted identifiers,
+* integer and decimal numeric literals (with exponents),
+* the operator set in :data:`repro.sql.tokens.OPERATORS`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.text):
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.peek()
+            if ch in " \t\r\n":
+                self.advance()
+            elif ch == "-" and self.peek(1) == "-":
+                while self.pos < len(self.text) and self.peek() != "\n":
+                    self.advance()
+            elif ch == "/" and self.peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self.advance(2)
+                while self.pos < len(self.text) and not (
+                    self.peek() == "*" and self.peek(1) == "/"
+                ):
+                    self.advance()
+                if self.pos >= len(self.text):
+                    raise LexerError(
+                        "unterminated block comment", start_line, start_col
+                    )
+                self.advance(2)
+            else:
+                return
+
+    def lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self.advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexerError("unterminated string literal", line, column)
+            ch = self.peek()
+            if ch == "'":
+                if self.peek(1) == "'":
+                    parts.append("'")
+                    self.advance(2)
+                    continue
+                self.advance()
+                break
+            parts.append(ch)
+            self.advance()
+        value = "".join(parts)
+        return Token(TokenType.STRING, value, value, line, column)
+
+    def lex_quoted_ident(self, quote: str) -> Token:
+        line, column = self.line, self.column
+        self.advance()
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexerError("unterminated quoted identifier", line, column)
+            ch = self.peek()
+            if ch == quote:
+                self.advance()
+                break
+            parts.append(ch)
+            self.advance()
+        name = "".join(parts)
+        return Token(TokenType.IDENT, name, name, line, column)
+
+    def lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        is_float = False
+        while self.peek() in _DIGITS:
+            self.advance()
+        if self.peek() == "." and self.peek(1) in _DIGITS:
+            is_float = True
+            self.advance()
+            while self.peek() in _DIGITS:
+                self.advance()
+        if self.peek() in ("e", "E") and (
+            self.peek(1) in _DIGITS
+            or (self.peek(1) in "+-" and self.peek(2) in _DIGITS)
+        ):
+            is_float = True
+            self.advance()
+            if self.peek() in "+-":
+                self.advance()
+            while self.peek() in _DIGITS:
+                self.advance()
+        text = self.text[start : self.pos]
+        value = float(text) if is_float else int(text)
+        return Token(TokenType.NUMBER, text, value, line, column)
+
+    def lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.peek() in _IDENT_CONT:
+            self.advance()
+        text = self.text[start : self.pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, text, line, column)
+        return Token(TokenType.IDENT, text, text, line, column)
+
+    def next_token(self) -> Token:
+        self.skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", None, self.line, self.column)
+        ch = self.peek()
+        if ch == "'":
+            return self.lex_string()
+        if ch == '"':
+            return self.lex_quoted_ident('"')
+        if ch == "`":
+            return self.lex_quoted_ident("`")
+        if ch in _DIGITS:
+            return self.lex_number()
+        if ch in _IDENT_START:
+            return self.lex_word()
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                line, column = self.line, self.column
+                self.advance(len(op))
+                return Token(TokenType.OPERATOR, op, op, line, column)
+        raise self.error(f"unexpected character {ch!r}")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with a single EOF token."""
+    lexer = _Lexer(text)
+    tokens: list[Token] = []
+    while True:
+        token = lexer.next_token()
+        tokens.append(token)
+        if token.type is TokenType.EOF:
+            return tokens

@@ -1,0 +1,5 @@
+"""In-memory storage and CSV import/export."""
+
+from repro.storage.table import MemoryTable
+
+__all__ = ["MemoryTable"]

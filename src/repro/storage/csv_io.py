@@ -1,0 +1,101 @@
+"""CSV import/export for base tables.
+
+The paper notes that views with measures can be created over relations that
+do not have measures, "such as a traditional relational database, or a
+directory of CSV files" (section 5.4) — this module provides that path.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional
+
+from repro.api import Database
+from repro.errors import CatalogError
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def load_csv(
+    db: Database,
+    table_name: str,
+    path: str | Path,
+    *,
+    column_types: Optional[dict[str, str]] = None,
+) -> int:
+    """Create ``table_name`` from a CSV file with a header row.
+
+    Column types come from ``column_types`` (name -> SQL type name); columns
+    not listed are inferred from the first data row (INTEGER, DOUBLE, DATE,
+    else VARCHAR).  Empty cells load as NULL.  Returns the row count.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CatalogError(f"{path} is empty") from None
+        data = list(reader)
+
+    types = []
+    overrides = {k.lower(): v for k, v in (column_types or {}).items()}
+    for index, name in enumerate(header):
+        if name.lower() in overrides:
+            types.append(overrides[name.lower()])
+            continue
+        sample = next((row[index] for row in data if index < len(row) and row[index]), "")
+        types.append(_infer_type(sample))
+
+    def convert(cell: str, type_name: str):
+        if cell == "":
+            return None
+        if type_name == "INTEGER":
+            return int(cell)
+        if type_name == "DOUBLE":
+            return float(cell)
+        return cell  # DATE strings coerce on insert; VARCHAR passes through
+
+    rows = [
+        tuple(
+            convert(row[i] if i < len(row) else "", types[i])
+            for i in range(len(header))
+        )
+        for row in data
+    ]
+    return db.create_table_from_rows(table_name, list(zip(header, types)), rows)
+
+
+def _infer_type(sample: str) -> str:
+    if not sample:
+        return "VARCHAR"
+    try:
+        int(sample)
+        return "INTEGER"
+    except ValueError:
+        pass
+    try:
+        float(sample)
+        return "DOUBLE"
+    except ValueError:
+        pass
+    import datetime
+
+    try:
+        datetime.date.fromisoformat(sample)
+        return "DATE"
+    except ValueError:
+        return "VARCHAR"
+
+
+def save_csv(db: Database, query: str, path: str | Path) -> int:
+    """Run ``query`` and write the result (with a header row) to ``path``."""
+    result = db.execute(query)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.column_names)
+        for row in result.rows:
+            writer.writerow(["" if v is None else v for v in row])
+    return len(result.rows)

@@ -1,0 +1,65 @@
+"""In-memory row storage for base tables.
+
+Rows are immutable tuples; values are coerced to the declared column types on
+insert, so the engine can rely on clean runtime types everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError
+from repro.types import coerce_value
+
+__all__ = ["MemoryTable"]
+
+
+class MemoryTable:
+    """A heap of tuples with a fixed schema."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self._rows
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Insert one row, coercing each value to its column type."""
+        if len(values) != len(self.schema.columns):
+            raise CatalogError(
+                f"expected {len(self.schema.columns)} values, got {len(values)}"
+            )
+        row = tuple(
+            coerce_value(value, column.dtype)
+            for value, column in zip(values, self.schema.columns)
+        )
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def insert_partial(self, column_names: Sequence[str], values: Sequence[Any]) -> None:
+        """Insert a row given a subset of columns; missing columns get NULL."""
+        if len(column_names) != len(values):
+            raise CatalogError("column list and value list differ in length")
+        positions = {}
+        for name, value in zip(column_names, values):
+            index = self.schema.index_of(name)
+            if index in positions:
+                raise CatalogError(f"column {name!r} specified twice")
+            positions[index] = value
+        full = [positions.get(i) for i in range(len(self.schema.columns))]
+        self.insert(full)
+
+    def truncate(self) -> None:
+        self._rows.clear()

@@ -1,0 +1,130 @@
+"""Static type inference and value coercion rules.
+
+The binder uses :func:`common_type` and the arithmetic/comparison result rules
+to type expressions; the storage layer uses :func:`coerce_value` to validate
+and convert inserted values.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.errors import ExecutionError, TypeCheckError
+from repro.types.datatypes import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    UNKNOWN,
+    VARCHAR,
+    DataType,
+    ScalarType,
+)
+
+__all__ = [
+    "common_type",
+    "arithmetic_result",
+    "division_result",
+    "coerce_value",
+    "infer_literal_type",
+]
+
+_NUMERIC = (INTEGER, DOUBLE)
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """The least common supertype of two types (for CASE, set ops, IN, ...)."""
+    left, right = left.unwrap(), right.unwrap()
+    if left is UNKNOWN:
+        return right
+    if right is UNKNOWN:
+        return left
+    if left == right:
+        return left
+    if left in _NUMERIC and right in _NUMERIC:
+        return DOUBLE
+    raise TypeCheckError(f"no common type for {left} and {right}")
+
+
+def arithmetic_result(left: DataType, right: DataType) -> DataType:
+    """Result type of ``+ - *`` (DATE +/- INTEGER handled by the caller)."""
+    left, right = left.unwrap(), right.unwrap()
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    if left is DATE and right is INTEGER:
+        return DATE
+    if left is INTEGER and right is DATE:
+        return DATE
+    if left is DATE and right is DATE:
+        return INTEGER
+    if left in _NUMERIC and right in _NUMERIC:
+        return DOUBLE if DOUBLE in (left, right) else INTEGER
+    raise TypeCheckError(f"arithmetic on {left} and {right}")
+
+
+def division_result(left: DataType, right: DataType) -> DataType:
+    """``/`` always yields DOUBLE (GoogleSQL semantics)."""
+    left, right = left.unwrap(), right.unwrap()
+    for t in (left, right):
+        if t not in _NUMERIC and t is not UNKNOWN:
+            raise TypeCheckError(f"division on {t}")
+    return DOUBLE
+
+
+def infer_literal_type(value: Any) -> ScalarType:
+    if value is None:
+        return UNKNOWN
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, datetime.date):
+        return DATE
+    if isinstance(value, str):
+        return VARCHAR
+    raise TypeCheckError(f"unsupported literal type {type(value).__name__}")
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` for storage in a column of type ``dtype``.
+
+    Accepts ISO-format strings for DATE columns and ints for DOUBLE columns;
+    raises :class:`ExecutionError` for anything that cannot be represented.
+    """
+    if value is None:
+        return None
+    target = dtype.unwrap()
+    if target is UNKNOWN:
+        return value
+    if target is BOOLEAN:
+        if isinstance(value, bool):
+            return value
+    elif target is INTEGER:
+        if isinstance(value, bool):
+            pass
+        elif isinstance(value, int):
+            return value
+        elif isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif target is DOUBLE:
+        if isinstance(value, bool):
+            pass
+        elif isinstance(value, (int, float)):
+            return float(value)
+    elif target is VARCHAR:
+        if isinstance(value, str):
+            return value
+    elif target is DATE:
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value.replace("/", "-"))
+            except ValueError:
+                raise ExecutionError(f"invalid date literal: {value!r}") from None
+    raise ExecutionError(
+        f"cannot coerce {value!r} ({type(value).__name__}) to {target}"
+    )

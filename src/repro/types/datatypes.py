@@ -1,0 +1,130 @@
+"""SQL data types, including the paper's ``t MEASURE`` wrapper type.
+
+The engine is dynamically typed at runtime (values are plain Python objects)
+but the binder computes a static type for every expression.  Types matter in
+three places:
+
+* DDL column definitions and INSERT coercion,
+* result-set metadata (`Result.columns`),
+* the measure machinery: a measure column has type ``t MEASURE`` and the
+  ``EVAL``/``AGGREGATE`` operators strip the wrapper (paper section 3.4).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import TypeCheckError
+
+__all__ = [
+    "DataType",
+    "ScalarType",
+    "MeasureType",
+    "BOOLEAN",
+    "INTEGER",
+    "DOUBLE",
+    "VARCHAR",
+    "DATE",
+    "UNKNOWN",
+    "parse_type_name",
+    "python_type_of",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class for all SQL types."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_measure(self) -> bool:
+        return False
+
+    def unwrap(self) -> "DataType":
+        """The value type of this type: ``t`` for ``t MEASURE``, else itself."""
+        return self
+
+
+@dataclass(frozen=True)
+class ScalarType(DataType):
+    """A plain (non-measure) SQL scalar type."""
+
+
+@dataclass(frozen=True)
+class MeasureType(DataType):
+    """The paper's ``t MEASURE`` type: a context-sensitive value of type ``t``.
+
+    ``EVAL`` (and its sugar ``AGGREGATE``) turn a ``t MEASURE`` into a ``t``.
+    """
+
+    inner: ScalarType = None  # type: ignore[assignment]
+
+    def __init__(self, inner: ScalarType):
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "name", f"{inner.name} MEASURE")
+
+    @property
+    def is_measure(self) -> bool:
+        return True
+
+    def unwrap(self) -> DataType:
+        return self.inner
+
+
+BOOLEAN = ScalarType("BOOLEAN")
+INTEGER = ScalarType("INTEGER")
+DOUBLE = ScalarType("DOUBLE")
+VARCHAR = ScalarType("VARCHAR")
+DATE = ScalarType("DATE")
+#: Type of NULL literals and expressions whose type cannot be derived.
+UNKNOWN = ScalarType("UNKNOWN")
+
+_NAME_ALIASES = {
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "INT64": INTEGER,
+    "BIGINT": INTEGER,
+    "SMALLINT": INTEGER,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "FLOAT64": DOUBLE,
+    "REAL": DOUBLE,
+    "DECIMAL": DOUBLE,
+    "NUMERIC": DOUBLE,
+    "VARCHAR": VARCHAR,
+    "STRING": VARCHAR,
+    "TEXT": VARCHAR,
+    "CHAR": VARCHAR,
+    "DATE": DATE,
+}
+
+
+def parse_type_name(name: str) -> ScalarType:
+    """Resolve a SQL type name (case-insensitive, with common aliases)."""
+    try:
+        return _NAME_ALIASES[name.upper()]
+    except KeyError:
+        raise TypeCheckError(f"unknown type name: {name!r}") from None
+
+
+def python_type_of(dtype: DataType) -> tuple[type, ...]:
+    """Python classes acceptable for values of ``dtype`` (NULL excluded)."""
+    base = dtype.unwrap()
+    if base is BOOLEAN:
+        return (bool,)
+    if base is INTEGER:
+        return (int,)
+    if base is DOUBLE:
+        return (float, int)
+    if base is VARCHAR:
+        return (str,)
+    if base is DATE:
+        return (datetime.date,)
+    return (object,)

@@ -1,0 +1,25 @@
+"""Workloads: the paper's example tables and a synthetic star schema."""
+
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_orders,
+    load_workload,
+    workload_database,
+)
+from repro.workloads.paper_data import (
+    CUSTOMERS,
+    ORDERS,
+    load_paper_tables,
+    paper_database,
+)
+
+__all__ = [
+    "CUSTOMERS",
+    "ORDERS",
+    "WorkloadConfig",
+    "generate_orders",
+    "load_paper_tables",
+    "load_workload",
+    "paper_database",
+    "workload_database",
+]

@@ -1,0 +1,144 @@
+"""Synthetic star-schema workload generator.
+
+Generates the retail workload the paper's introduction motivates: a fact
+table of orders joined to customer and product dimensions, with Zipf-skewed
+product popularity, seasonal dates, and revenue/cost structure.  All
+generation is seeded and pure-Python (numpy accelerates the heavy arrays when
+available), so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.api import Database
+
+__all__ = ["WorkloadConfig", "generate_orders", "load_workload", "workload_database"]
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Celia", "Dan", "Eve", "Frank", "Grace", "Hana",
+    "Ivan", "Judy", "Karl", "Lena", "Mona", "Nils", "Oleg", "Pia",
+]
+
+_PRODUCT_STEMS = [
+    "Happy", "Acme", "Whizz", "Zenith", "Quark", "Nimbus", "Vertex",
+    "Orbit", "Pulse", "Ember", "Drift", "Falcon", "Gale", "Harbor",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic workload."""
+
+    orders: int = 10_000
+    products: int = 50
+    customers: int = 200
+    start_year: int = 2020
+    years: int = 4
+    zipf_skew: float = 1.3
+    seed: int = 42
+
+
+def _product_names(count: int) -> list[str]:
+    names = []
+    index = 0
+    while len(names) < count:
+        stem = _PRODUCT_STEMS[index % len(_PRODUCT_STEMS)]
+        suffix = index // len(_PRODUCT_STEMS)
+        names.append(stem if suffix == 0 else f"{stem}{suffix}")
+        index += 1
+    return names
+
+
+def _customer_names(count: int) -> list[str]:
+    names = []
+    index = 0
+    while len(names) < count:
+        first = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+        suffix = index // len(_FIRST_NAMES)
+        names.append(first if suffix == 0 else f"{first}{suffix}")
+        index += 1
+    return names
+
+
+def _zipf_weights(count: int, skew: float) -> list[float]:
+    return [1.0 / (rank**skew) for rank in range(1, count + 1)]
+
+
+def generate_orders(config: WorkloadConfig) -> tuple[list, list, list]:
+    """Generate (customers, products, orders) row lists.
+
+    customers: (custName, custAge, region)
+    products:  (prodName, category, listPrice)
+    orders:    (prodName, custName, orderDate, revenue, cost)
+    """
+    rng = random.Random(config.seed)
+    products = _product_names(config.products)
+    customers = _customer_names(config.customers)
+    categories = ["toys", "tools", "games", "garden", "office"]
+
+    customer_rows = [
+        (name, rng.randint(16, 80), rng.choice(["north", "south", "east", "west"]))
+        for name in customers
+    ]
+    product_rows = []
+    base_prices = {}
+    for index, name in enumerate(products):
+        price = round(rng.uniform(2.0, 120.0), 2)
+        base_prices[name] = price
+        product_rows.append((name, categories[index % len(categories)], price))
+
+    product_weights = _zipf_weights(config.products, config.zipf_skew)
+    start = datetime.date(config.start_year, 1, 1)
+    days = config.years * 365
+
+    order_rows = []
+    for _ in range(config.orders):
+        product = rng.choices(products, weights=product_weights, k=1)[0]
+        customer = rng.choice(customers)
+        # Mild seasonality: Q4 is twice as likely.
+        while True:
+            day = start + datetime.timedelta(days=rng.randrange(days))
+            if day.month >= 10 or rng.random() < 0.5:
+                break
+        quantity = rng.randint(1, 5)
+        price = base_prices[product]
+        revenue = max(1, int(price * quantity * rng.uniform(0.9, 1.1)))
+        cost = max(0, int(revenue * rng.uniform(0.35, 0.85)))
+        order_rows.append((product, customer, day.isoformat(), revenue, cost))
+    return customer_rows, product_rows, order_rows
+
+
+def load_workload(db: Database, config: WorkloadConfig) -> None:
+    """Create and populate Customers, Products and Orders tables."""
+    customer_rows, product_rows, order_rows = generate_orders(config)
+    db.create_table_from_rows(
+        "Customers",
+        [("custName", "VARCHAR"), ("custAge", "INTEGER"), ("region", "VARCHAR")],
+        customer_rows,
+    )
+    db.create_table_from_rows(
+        "Products",
+        [("prodName", "VARCHAR"), ("category", "VARCHAR"), ("listPrice", "DOUBLE")],
+        product_rows,
+    )
+    db.create_table_from_rows(
+        "Orders",
+        [
+            ("prodName", "VARCHAR"),
+            ("custName", "VARCHAR"),
+            ("orderDate", "DATE"),
+            ("revenue", "INTEGER"),
+            ("cost", "INTEGER"),
+        ],
+        order_rows,
+    )
+
+
+def workload_database(config: WorkloadConfig | None = None, **db_kwargs) -> Database:
+    """A fresh database loaded with the synthetic workload."""
+    db = Database(**db_kwargs)
+    load_workload(db, config or WorkloadConfig())
+    return db

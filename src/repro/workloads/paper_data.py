@@ -1,0 +1,50 @@
+"""The paper's example data: Customers (Table 1) and Orders (Table 2)."""
+
+from __future__ import annotations
+
+from repro.api import Database
+
+__all__ = ["CUSTOMERS", "ORDERS", "load_paper_tables", "paper_database"]
+
+#: Table 1 of the paper.
+CUSTOMERS = [
+    ("Alice", 23),
+    ("Bob", 41),
+    ("Celia", 17),
+]
+
+#: Table 2 of the paper.
+ORDERS = [
+    ("Happy", "Alice", "2023-11-28", 6, 4),
+    ("Acme", "Bob", "2023-11-27", 5, 2),
+    ("Happy", "Alice", "2024-11-28", 7, 4),
+    ("Whizz", "Celia", "2023-11-25", 3, 1),
+    ("Happy", "Bob", "2022-11-27", 4, 1),
+]
+
+
+def load_paper_tables(db: Database) -> None:
+    """Create and populate the Customers and Orders tables."""
+    db.create_table_from_rows(
+        "Customers",
+        [("custName", "VARCHAR"), ("custAge", "INTEGER")],
+        CUSTOMERS,
+    )
+    db.create_table_from_rows(
+        "Orders",
+        [
+            ("prodName", "VARCHAR"),
+            ("custName", "VARCHAR"),
+            ("orderDate", "DATE"),
+            ("revenue", "INTEGER"),
+            ("cost", "INTEGER"),
+        ],
+        ORDERS,
+    )
+
+
+def paper_database(**kwargs) -> Database:
+    """A fresh database pre-loaded with the paper's tables."""
+    db = Database(**kwargs)
+    load_paper_tables(db)
+    return db

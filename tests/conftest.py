@@ -1,0 +1,45 @@
+"""Shared fixtures: fresh databases, the paper's tables, common views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads.paper_data import load_paper_tables
+
+
+@pytest.fixture
+def db() -> Database:
+    """An empty database."""
+    return Database()
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """A database loaded with the paper's Customers and Orders tables."""
+    database = Database()
+    load_paper_tables(database)
+    return database
+
+
+@pytest.fixture
+def orders_db(paper_db: Database) -> Database:
+    """Paper tables plus the EnhancedOrders view (paper Listing 3)."""
+    paper_db.execute(
+        """
+        CREATE VIEW EnhancedOrders AS
+        SELECT orderDate, prodName,
+               (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+        FROM Orders
+        """
+    )
+    return paper_db
+
+
+def rows(db: Database, sql: str) -> list[tuple]:
+    """Execute and return rows (test helper)."""
+    return db.execute(sql).rows
+
+
+def scalar(db: Database, sql: str):
+    return db.execute(sql).scalar()

@@ -1,0 +1,194 @@
+"""Unit tests for the bound IR, fingerprints, and correlation utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import logical as plans
+from repro.semantics import bound as b
+from repro.semantics.correlate import (
+    collect_outer_refs,
+    normalize_outer,
+    plan_expressions,
+    remap_outer_expr,
+    transform_expr,
+)
+from repro.types import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+
+
+def col(offset, dtype=INTEGER, name=""):
+    return b.BoundColumn(offset, dtype, name)
+
+
+def lit(value, dtype=INTEGER):
+    return b.BoundLiteral(value, dtype)
+
+
+def call(op, *args, dtype=INTEGER):
+    return b.BoundCall(op, list(args), dtype, lambda *a: None)
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_column_identity():
+    assert b.fingerprint(col(3)) == b.fingerprint(col(3, VARCHAR, "other"))
+    assert b.fingerprint(col(3)) != b.fingerprint(col(4))
+
+
+def test_fingerprint_call_structure():
+    left = call("+", col(0), lit(1))
+    right = call("+", col(0), lit(1))
+    assert b.fingerprint(left) == b.fingerprint(right)
+    assert b.fingerprint(call("+", col(0), lit(2))) != b.fingerprint(left)
+
+
+def test_fingerprint_distinguishes_agg_flavors():
+    plain = b.BoundAggCall("SUM", [col(0)], False, False, None, INTEGER)
+    distinct = b.BoundAggCall("SUM", [col(0)], True, False, None, INTEGER)
+    assert b.fingerprint(plain) != b.fingerprint(distinct)
+
+
+def test_fingerprint_literal_types():
+    assert b.fingerprint(lit("x", VARCHAR)) == "'x'"
+    assert b.fingerprint(lit(None, INTEGER)) == "NULL"
+
+
+def test_walk_visits_all_nodes():
+    expr = call("AND", call("=", col(0), lit(1), dtype=BOOLEAN), col(2), dtype=BOOLEAN)
+    kinds = [type(node).__name__ for node in b.walk(expr)]
+    assert kinds.count("BoundColumn") == 2
+    assert kinds.count("BoundLiteral") == 1
+
+
+def test_contains_aggregate():
+    agg = b.BoundAggCall("SUM", [col(0)], False, False, None, INTEGER)
+    assert b.contains_aggregate(call("+", agg, lit(1)))
+    assert not b.contains_aggregate(call("+", col(0), lit(1)))
+
+
+def test_max_outer_depth():
+    outer = b.BoundOuterColumn(2, 1, INTEGER)
+    assert b.max_outer_depth(call("+", col(0), outer)) == 2
+    assert b.max_outer_depth(col(0)) == 0
+
+
+# -- transform_expr -------------------------------------------------------------
+
+
+def test_transform_replaces_subtree_and_stops():
+    expr = call("+", call("*", col(0), lit(2)), col(1))
+
+    def visit(node):
+        if isinstance(node, b.BoundCall) and node.op == "*":
+            return lit(99)
+        return None
+
+    result = transform_expr(expr, visit)
+    assert b.fingerprint(result) == b.fingerprint(call("+", lit(99), col(1)))
+    # The original expression is untouched.
+    assert b.fingerprint(expr) != b.fingerprint(result)
+
+
+def test_transform_identity_returns_same_object():
+    expr = call("+", col(0), lit(1))
+    assert transform_expr(expr, lambda n: None) is expr
+
+
+# -- correlation -----------------------------------------------------------------
+
+
+def make_plan(exprs):
+    scan = plans.Scan("t", [("a", INTEGER), ("b", INTEGER)])
+    return plans.Project(scan, exprs, [("x", INTEGER)] * len(exprs))
+
+
+def test_collect_outer_refs_dedupes():
+    plan = make_plan(
+        [
+            call("+", b.BoundOuterColumn(1, 0, INTEGER), b.BoundOuterColumn(1, 0, INTEGER)),
+            b.BoundOuterColumn(2, 3, INTEGER),
+        ]
+    )
+    assert collect_outer_refs(plan) == [(1, 0), (2, 3)]
+
+
+def test_collect_outer_refs_shifts_nested_subqueries():
+    inner = make_plan([b.BoundOuterColumn(2, 5, INTEGER)])
+    subquery = b.BoundSubquery(inner, "SCALAR", INTEGER, outer_refs=[(2, 5)])
+    plan = make_plan([subquery])
+    # Depth 2 inside the subquery is depth 1 outside it.
+    assert collect_outer_refs(plan) == [(1, 5)]
+
+
+def test_normalize_outer_converts_refs():
+    expr = call("YEAR", b.BoundOuterColumn(1, 2, INTEGER))
+    normalized = normalize_outer(expr, 1)
+    assert b.fingerprint(normalized) == b.fingerprint(call("YEAR", col(2)))
+
+
+def test_normalize_outer_blocked_by_other_depths():
+    expr = call("+", b.BoundOuterColumn(1, 0, INTEGER), b.BoundOuterColumn(2, 0, INTEGER))
+    assert normalize_outer(expr, 1) is None
+
+
+def test_remap_outer_expr_column_level():
+    expr = b.BoundOuterColumn(1, 4, INTEGER, "k")
+    remapped = remap_outer_expr(expr, {4: 0}, {})
+    assert isinstance(remapped, b.BoundOuterColumn)
+    assert remapped.offset == 0
+
+
+def test_remap_outer_expr_expression_level():
+    group_expr = call("YEAR", col(2))
+    mapping = {}
+    expr_mapping = {b.fingerprint(group_expr): (1, INTEGER)}
+    expr = call("YEAR", b.BoundOuterColumn(1, 2, INTEGER))
+    remapped = remap_outer_expr(expr, mapping, expr_mapping)
+    assert isinstance(remapped, b.BoundOuterColumn)
+    assert remapped.offset == 1
+
+
+def test_remap_outer_expr_rejects_nongroup_ref():
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        remap_outer_expr(b.BoundOuterColumn(1, 9, INTEGER, "q"), {}, {})
+
+
+def test_plan_expressions_covers_all_operators():
+    scan = plans.Scan("t", [("a", INTEGER)])
+    filtered = plans.Filter(scan, call("=", col(0), lit(1), dtype=BOOLEAN))
+    agg = plans.Aggregate(
+        filtered,
+        [col(0)],
+        [b.BoundAggCall("COUNT", [], False, True, None, INTEGER)],
+        [[0]],
+        [("k", INTEGER), ("c", INTEGER)],
+    )
+    sorted_plan = plans.Sort(agg, [b.SortSpec(col(0))])
+    limited = plans.Limit(sorted_plan, lit(10), None)
+    exprs = list(plan_expressions(limited))
+    assert len(exprs) == 5  # limit, sort key, group key, agg call, filter pred
+
+
+def test_plan_tree_string():
+    scan = plans.Scan("t", [("a", INTEGER)])
+    filtered = plans.Filter(scan, call("=", col(0), lit(1), dtype=BOOLEAN))
+    text = plans.plan_tree_string(filtered)
+    assert text.splitlines() == ["Filter", "  Scan(t)"]
+
+
+def test_aggregate_layout_offsets():
+    scan = plans.Scan("t", [("a", INTEGER)])
+    agg = plans.Aggregate(
+        scan,
+        [col(0)],
+        [b.BoundAggCall("COUNT", [], False, True, None, INTEGER)],
+        [[0], []],
+        [("k", INTEGER), ("c", INTEGER), ("$gid", INTEGER), ("$rows", INTEGER)],
+        capture_rows=True,
+    )
+    assert agg.has_grouping_id
+    assert agg.grouping_id_offset == 2
+    assert agg.captured_rows_offset == 3

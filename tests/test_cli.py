@@ -1,0 +1,142 @@
+"""CLI shell tests (driven through the Shell object, no TTY needed)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    return Shell(Database(), out=out), out
+
+
+def feed(shell: Shell, *lines: str) -> None:
+    for line in lines:
+        shell.handle_line(line)
+
+
+def test_simple_statement(shell):
+    sh, out = shell
+    feed(sh, "SELECT 1 + 1 AS two;")
+    text = out.getvalue()
+    assert "two" in text
+    assert "2" in text
+    assert "(1 rows)" in text
+
+
+def test_multiline_statement_buffers(shell):
+    sh, out = shell
+    feed(sh, "SELECT", "1 AS x", ";")
+    assert "x" in out.getvalue()
+
+
+def test_prompt_changes_while_buffering(shell):
+    sh, _ = shell
+    assert sh.prompt == "repro=> "
+    sh.handle_line("SELECT")
+    assert sh.prompt == "   ...> "
+
+
+def test_error_is_reported_not_raised(shell):
+    sh, out = shell
+    feed(sh, "SELECT nope FROM nowhere;")
+    assert "error:" in out.getvalue()
+
+
+def test_quit_returns_false(shell):
+    sh, _ = shell
+    assert sh.handle_line("\\q") is False
+
+
+def test_help(shell):
+    sh, out = shell
+    feed(sh, "\\?")
+    assert "\\expand" in out.getvalue()
+
+
+def test_demo_and_list(shell):
+    sh, out = shell
+    feed(sh, "\\demo", "\\d")
+    text = out.getvalue()
+    assert "Customers" in text and "Orders" in text
+
+
+def test_describe_table(shell):
+    sh, out = shell
+    feed(sh, "\\demo", "\\d Orders")
+    text = out.getvalue()
+    assert "prodName" in text
+    assert "(5 rows)" in text
+
+
+def test_describe_view_shows_measures(shell):
+    sh, out = shell
+    feed(
+        sh,
+        "\\demo",
+        "CREATE VIEW eo AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders;",
+        "\\d eo",
+    )
+    text = out.getvalue()
+    assert "measure" in text
+    assert "INTEGER MEASURE" in text
+
+
+def test_describe_unknown(shell):
+    sh, out = shell
+    feed(sh, "\\d nothing")
+    assert "error:" in out.getvalue()
+
+
+def test_timing_toggle(shell):
+    sh, out = shell
+    feed(sh, "\\timing", "SELECT 1;")
+    text = out.getvalue()
+    assert "timing on" in text
+    assert "time:" in text
+
+
+def test_expand_meta(shell):
+    sh, out = shell
+    feed(
+        sh,
+        "\\demo",
+        "CREATE VIEW eo AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders;",
+        "\\expand SELECT prodName, AGGREGATE(r) FROM eo GROUP BY prodName;",
+    )
+    assert "IS NOT DISTINCT FROM" in out.getvalue()
+
+
+def test_load_csv(shell, tmp_path):
+    sh, out = shell
+    path = tmp_path / "x.csv"
+    path.write_text("a,b\n1,one\n2,two\n")
+    feed(sh, f"\\load stuff {path}", "SELECT COUNT(*) FROM stuff;")
+    text = out.getvalue()
+    assert "loaded 2 rows" in text
+
+
+def test_script_file(shell, tmp_path):
+    sh, out = shell
+    script = tmp_path / "s.sql"
+    script.write_text("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (5); SELECT a FROM t;")
+    sh.run_script_file(str(script))
+    assert "5" in out.getvalue()
+
+
+def test_unknown_meta(shell):
+    sh, out = shell
+    feed(sh, "\\bogus")
+    assert "unknown command" in out.getvalue()
+
+
+def test_multiple_statements_one_line(shell):
+    sh, out = shell
+    feed(sh, "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t;")
+    assert "(1 rows)" in out.getvalue()

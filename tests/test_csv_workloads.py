@@ -1,0 +1,118 @@
+"""CSV import/export and synthetic workload generator tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro import Database
+from repro.storage.csv_io import load_csv, save_csv
+from repro.workloads import (
+    WorkloadConfig,
+    generate_orders,
+    load_workload,
+    workload_database,
+)
+
+
+def test_load_csv_infers_types(tmp_path, db):
+    path = tmp_path / "orders.csv"
+    path.write_text(
+        "prodName,orderDate,revenue,ratio\n"
+        "Happy,2023-11-28,6,0.5\n"
+        "Acme,2023-11-27,5,0.25\n"
+    )
+    assert load_csv(db, "o", path) == 2
+    row = db.execute("SELECT prodName, orderDate, revenue, ratio FROM o LIMIT 1").rows[0]
+    assert row == ("Happy", datetime.date(2023, 11, 28), 6, 0.5)
+
+
+def test_load_csv_empty_cells_become_null(tmp_path, db):
+    path = tmp_path / "n.csv"
+    path.write_text("a,b\n1,\n,x\n")
+    load_csv(db, "n", path)
+    assert db.execute("SELECT COUNT(*) FROM n WHERE b IS NULL").scalar() == 1
+
+
+def test_load_csv_type_overrides(tmp_path, db):
+    path = tmp_path / "t.csv"
+    path.write_text("code\n00123\n")
+    load_csv(db, "t", path, column_types={"code": "VARCHAR"})
+    assert db.execute("SELECT code FROM t").scalar() == "00123"
+
+
+def test_load_csv_empty_file_raises(tmp_path, db):
+    from repro import CatalogError
+
+    path = tmp_path / "e.csv"
+    path.write_text("")
+    with pytest.raises(CatalogError):
+        load_csv(db, "e", path)
+
+
+def test_save_and_reload_round_trip(tmp_path, paper_db):
+    out = tmp_path / "out.csv"
+    count = save_csv(
+        paper_db,
+        "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName",
+        out,
+    )
+    assert count == 3
+    fresh = Database()
+    load_csv(fresh, "summary", out)
+    assert fresh.execute("SELECT SUM(r) FROM summary").scalar() == 25
+
+
+def test_measures_over_csv_loaded_table(tmp_path, db):
+    """The paper's 'directory of CSV files' scenario (section 5.4)."""
+    path = tmp_path / "sales.csv"
+    path.write_text("k,v\na,1\na,2\nb,5\n")
+    load_csv(db, "sales", path)
+    db.execute("CREATE VIEW ms AS SELECT k, SUM(v) AS MEASURE total FROM sales")
+    rows = db.execute("SELECT k, AGGREGATE(total) FROM ms GROUP BY k ORDER BY k").rows
+    assert rows == [("a", 3), ("b", 5)]
+
+
+def test_generator_is_deterministic():
+    config = WorkloadConfig(orders=100, seed=7)
+    assert generate_orders(config) == generate_orders(config)
+
+
+def test_generator_respects_sizes():
+    config = WorkloadConfig(orders=50, products=5, customers=8)
+    customers, products, orders = generate_orders(config)
+    assert len(customers) == 8
+    assert len(products) == 5
+    assert len(orders) == 50
+
+
+def test_generator_zipf_skew():
+    """The most popular product gets far more orders than the median one."""
+    _, _, orders = generate_orders(WorkloadConfig(orders=2000, products=20))
+    counts: dict[str, int] = {}
+    for order in orders:
+        counts[order[0]] = counts.get(order[0], 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    assert ranked[0] > 4 * ranked[len(ranked) // 2]
+
+
+def test_workload_database_loads_three_tables():
+    db = workload_database(WorkloadConfig(orders=50))
+    assert db.table_names() == ["Customers", "Orders", "Products"]
+    assert db.execute("SELECT COUNT(*) FROM Orders").scalar() == 50
+
+
+def test_workload_revenue_cost_structure():
+    db = workload_database(WorkloadConfig(orders=200))
+    bad = db.execute("SELECT COUNT(*) FROM Orders WHERE cost > revenue").scalar()
+    assert bad == 0
+
+
+def test_load_workload_into_existing_db(db):
+    load_workload(db, WorkloadConfig(orders=10))
+    joined = db.execute(
+        """SELECT COUNT(*) FROM Orders AS o
+           JOIN Customers AS c ON o.custName = c.custName"""
+    ).scalar()
+    assert joined == 10

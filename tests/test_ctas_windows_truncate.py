@@ -1,0 +1,114 @@
+"""CREATE TABLE AS SELECT, TRUNCATE, and named WINDOW clauses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BindError, CatalogError, Database
+
+
+@pytest.fixture
+def t(db: Database) -> Database:
+    db.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 5), ('b', 2)")
+    return db
+
+
+def test_ctas_creates_and_fills(t):
+    result = t.execute("CREATE TABLE s AS SELECT g, SUM(v) AS total FROM t GROUP BY g")
+    assert result.rowcount == 2
+    assert t.execute("SELECT total FROM s WHERE g = 'a'").scalar() == 6
+
+
+def test_ctas_preserves_types(t):
+    t.execute("CREATE TABLE s AS SELECT g, v * 1.5 AS scaled FROM t")
+    # the new table carries DOUBLE values
+    assert t.execute("SELECT SUM(scaled) FROM s").scalar() == pytest.approx(12.0)
+
+
+def test_ctas_duplicate_name_raises(t):
+    with pytest.raises(CatalogError):
+        t.execute("CREATE TABLE t AS SELECT 1 AS x")
+
+
+def test_create_or_replace_table_as(t):
+    t.execute("CREATE TABLE s AS SELECT 1 AS x")
+    t.execute("CREATE OR REPLACE TABLE s AS SELECT 2 AS x")
+    assert t.execute("SELECT x FROM s").scalar() == 2
+
+
+def test_ctas_from_measure_query(t):
+    t.execute("CREATE VIEW m AS SELECT g, SUM(v) AS MEASURE total FROM t")
+    t.execute(
+        "CREATE TABLE snap AS SELECT g, AGGREGATE(total) AS total FROM m GROUP BY g"
+    )
+    assert t.execute("SELECT SUM(total) FROM snap").scalar() == 8
+
+
+def test_ctas_round_trip():
+    from repro.sql import parse_statement, to_sql
+
+    sql = "CREATE OR REPLACE TABLE s AS SELECT a FROM t"
+    printed = to_sql(parse_statement(sql))
+    assert to_sql(parse_statement(printed)) == printed
+
+
+def test_truncate(t):
+    assert t.execute("TRUNCATE TABLE t").rowcount == 3
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 0
+    # schema survives
+    t.execute("INSERT INTO t VALUES ('z', 9)")
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_truncate_without_table_keyword(t):
+    assert t.execute("TRUNCATE t").rowcount == 3
+
+
+def test_truncate_view_rejected(t):
+    t.execute("CREATE VIEW v AS SELECT g FROM t")
+    with pytest.raises(CatalogError):
+        t.execute("TRUNCATE TABLE v")
+
+
+def test_named_window_shared_by_two_calls(t):
+    rows = t.execute(
+        """SELECT g, v, ROW_NUMBER() OVER w AS rn, SUM(v) OVER w AS running
+           FROM t WINDOW w AS (PARTITION BY g ORDER BY v)
+           ORDER BY g, v"""
+    ).rows
+    assert rows == [("a", 1, 1, 1), ("a", 5, 2, 6), ("b", 2, 1, 2)]
+
+
+def test_multiple_named_windows(t):
+    rows = t.execute(
+        """SELECT v, ROW_NUMBER() OVER a AS ra, ROW_NUMBER() OVER d AS rd
+           FROM t
+           WINDOW a AS (ORDER BY v), d AS (ORDER BY v DESC)
+           ORDER BY v"""
+    ).rows
+    assert rows == [(1, 1, 3), (2, 2, 2), (5, 3, 1)]
+
+
+def test_named_window_in_qualify(t):
+    rows = t.execute(
+        """SELECT g, v FROM t
+           QUALIFY ROW_NUMBER() OVER w = 1
+           WINDOW w AS (PARTITION BY g ORDER BY v DESC)
+           ORDER BY g"""
+    ).rows
+    assert rows == [("a", 5), ("b", 2)]
+
+
+def test_unknown_window_name_raises(t):
+    with pytest.raises(BindError, match="nope"):
+        t.execute("SELECT ROW_NUMBER() OVER nope FROM t")
+
+
+def test_named_window_round_trip():
+    from repro.sql import parse_statement, to_sql
+
+    sql = "SELECT SUM(v) OVER w FROM t WINDOW w AS (PARTITION BY g)"
+    printed = to_sql(parse_statement(sql))
+    assert "OVER w" in printed and "WINDOW w AS" in printed
+    assert to_sql(parse_statement(printed)) == printed

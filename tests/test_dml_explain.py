@@ -1,0 +1,120 @@
+"""UPDATE, DELETE, and EXPLAIN statements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BindError, CatalogError, Database
+
+
+@pytest.fixture
+def t(db: Database) -> Database:
+    db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    return db
+
+
+def test_update_all_rows(t):
+    assert t.execute("UPDATE t SET a = a + 100").rowcount == 3
+    assert t.execute("SELECT SUM(a) FROM t").scalar() == 306
+
+
+def test_update_with_where(t):
+    assert t.execute("UPDATE t SET b = 'changed' WHERE a = 2").rowcount == 1
+    assert t.execute("SELECT b FROM t WHERE a = 2").scalar() == "changed"
+    assert t.execute("SELECT b FROM t WHERE a = 1").scalar() == "x"
+
+
+def test_update_multiple_columns_sees_old_values(t):
+    """All assignments read the pre-update row (standard SQL)."""
+    t.execute("UPDATE t SET a = a * 10, b = b || CAST(a AS VARCHAR) WHERE a = 3")
+    assert t.execute("SELECT a, b FROM t WHERE a = 30").rows == [(30, "z3")]
+
+
+def test_update_coerces_types(t):
+    t.execute("UPDATE t SET a = 2.0 WHERE a = 1")
+    value = t.execute("SELECT a FROM t WHERE b = 'x'").scalar()
+    assert value == 2 and isinstance(value, int)
+
+
+def test_update_unknown_column_raises(t):
+    with pytest.raises(CatalogError):
+        t.execute("UPDATE t SET nosuch = 1")
+
+
+def test_update_view_rejected(t):
+    t.execute("CREATE VIEW v AS SELECT a FROM t")
+    with pytest.raises(CatalogError):
+        t.execute("UPDATE v SET a = 1")
+
+
+def test_update_matching_nothing(t):
+    assert t.execute("UPDATE t SET a = 0 WHERE FALSE").rowcount == 0
+
+
+def test_delete_with_where(t):
+    assert t.execute("DELETE FROM t WHERE a >= 2").rowcount == 2
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_delete_all(t):
+    assert t.execute("DELETE FROM t").rowcount == 3
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_delete_null_predicate_keeps_row(t):
+    t.execute("INSERT INTO t VALUES (NULL, 'n')")
+    t.execute("DELETE FROM t WHERE a > 0")
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 1  # the NULL row
+
+
+def test_update_where_with_subquery(t):
+    t.execute("UPDATE t SET b = 'top' WHERE a = (SELECT MAX(a) FROM t)")
+    assert t.execute("SELECT b FROM t WHERE a = 3").scalar() == "top"
+
+
+def test_dml_round_trip_through_printer():
+    from repro.sql import parse_statement, to_sql
+
+    for sql in (
+        "UPDATE t SET a = 1, b = 'x' WHERE c > 2",
+        "DELETE FROM t WHERE a IS NULL",
+        "EXPLAIN SELECT 1",
+    ):
+        printed = to_sql(parse_statement(sql))
+        assert to_sql(parse_statement(printed)) == printed
+
+
+def test_explain_shows_plan_tree(t):
+    result = t.execute("EXPLAIN SELECT a FROM t WHERE a > 1 ORDER BY a DESC")
+    text = "\n".join(r[0] for r in result.rows)
+    assert "Scan(t)" in text
+    assert "Filter" in text
+    assert "Sort" in text
+
+
+def test_explain_respects_optimizer(db):
+    db.execute("CREATE TABLE e (a INTEGER)")
+    hot = "\n".join(
+        r[0] for r in db.execute("EXPLAIN SELECT a FROM e WHERE 1 = 1").rows
+    )
+    assert "Filter" not in hot  # the TRUE filter was optimized away
+
+    cold = Database(optimizer=False)
+    cold.execute("CREATE TABLE e (a INTEGER)")
+    raw = "\n".join(
+        r[0] for r in cold.execute("EXPLAIN SELECT a FROM e WHERE 1 = 1").rows
+    )
+    assert "Filter" in raw
+
+
+def test_explain_aggregate_plan(t):
+    result = t.execute("EXPLAIN SELECT b, COUNT(*) FROM t GROUP BY b")
+    text = "\n".join(r[0] for r in result.rows)
+    assert "Aggregate(keys=1, aggs=1, sets=1)" in text
+
+
+def test_measures_in_update_where_rejected(t):
+    # Measures live in views; base-table DML has no measure scope.
+    with pytest.raises(BindError):
+        t.execute("UPDATE t SET a = 1 WHERE AGGREGATE(a) > 0")

@@ -1,0 +1,142 @@
+"""Join execution: inner/outer/cross, USING, NATURAL, null padding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BindError, Database
+
+
+@pytest.fixture
+def jdb(db: Database) -> Database:
+    db.execute("CREATE TABLE l (k INTEGER, lv VARCHAR)")
+    db.execute("CREATE TABLE r (k INTEGER, rv VARCHAR)")
+    db.execute("INSERT INTO l VALUES (1, 'l1'), (2, 'l2'), (3, 'l3')")
+    db.execute("INSERT INTO r VALUES (2, 'r2'), (3, 'r3'), (4, 'r4')")
+    return db
+
+
+def test_inner_join(jdb):
+    rows = jdb.execute(
+        "SELECT l.k, lv, rv FROM l JOIN r ON l.k = r.k ORDER BY l.k"
+    ).rows
+    assert rows == [(2, "l2", "r2"), (3, "l3", "r3")]
+
+
+def test_left_join_pads_nulls(jdb):
+    rows = jdb.execute(
+        "SELECT l.k, rv FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.k"
+    ).rows
+    assert rows == [(1, None), (2, "r2"), (3, "r3")]
+
+
+def test_right_join(jdb):
+    rows = jdb.execute(
+        "SELECT r.k, lv FROM l RIGHT JOIN r ON l.k = r.k ORDER BY r.k"
+    ).rows
+    assert rows == [(2, "l2"), (3, "l3"), (4, None)]
+
+
+def test_full_join(jdb):
+    rows = jdb.execute(
+        """SELECT l.k, r.k FROM l FULL JOIN r ON l.k = r.k
+           ORDER BY l.k NULLS LAST, r.k NULLS LAST"""
+    ).rows
+    assert rows == [(1, None), (2, 2), (3, 3), (None, 4)]
+
+
+def test_cross_join_cardinality(jdb):
+    assert len(jdb.execute("SELECT 1 FROM l CROSS JOIN r").rows) == 9
+
+
+def test_comma_join_is_cross(jdb):
+    assert len(jdb.execute("SELECT 1 FROM l, r").rows) == 9
+
+
+def test_join_using(jdb):
+    rows = jdb.execute("SELECT lv, rv FROM l JOIN r USING (k) ORDER BY lv").rows
+    assert rows == [("l2", "r2"), ("l3", "r3")]
+
+
+def test_using_column_unqualified_resolves(jdb):
+    rows = jdb.execute("SELECT k FROM l JOIN r USING (k) ORDER BY 1").rows
+    assert rows == [(2,), (3,)]
+
+
+def test_natural_join(jdb):
+    rows = jdb.execute("SELECT lv, rv FROM l NATURAL JOIN r ORDER BY lv").rows
+    assert rows == [("l2", "r2"), ("l3", "r3")]
+
+
+def test_natural_join_without_common_columns_raises(db):
+    db.execute("CREATE TABLE a (x INTEGER)")
+    db.execute("CREATE TABLE b (y INTEGER)")
+    with pytest.raises(BindError):
+        db.execute("SELECT 1 FROM a NATURAL JOIN b")
+
+
+def test_join_on_arbitrary_predicate(jdb):
+    rows = jdb.execute(
+        "SELECT l.k, r.k FROM l JOIN r ON l.k < r.k ORDER BY l.k, r.k"
+    ).rows
+    assert rows == [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+
+
+def test_three_way_join(jdb):
+    jdb.execute("CREATE TABLE m (k INTEGER, mv VARCHAR)")
+    jdb.execute("INSERT INTO m VALUES (2, 'm2'), (3, 'm3')")
+    rows = jdb.execute(
+        """SELECT lv, mv, rv FROM l
+           JOIN m ON l.k = m.k
+           JOIN r ON m.k = r.k
+           ORDER BY lv"""
+    ).rows
+    assert rows == [("l2", "m2", "r2"), ("l3", "m3", "r3")]
+
+
+def test_join_subquery(jdb):
+    rows = jdb.execute(
+        """SELECT l.k, big.rv FROM l
+           JOIN (SELECT k, rv FROM r WHERE k > 2) AS big ON l.k = big.k"""
+    ).rows
+    assert rows == [(3, "r3")]
+
+
+def test_left_join_aggregation_counts_padded_rows(jdb):
+    rows = jdb.execute(
+        """SELECT l.k, COUNT(rv) FROM l LEFT JOIN r ON l.k = r.k
+           GROUP BY l.k ORDER BY l.k"""
+    ).rows
+    assert rows == [(1, 0), (2, 1), (3, 1)]
+
+
+def test_duplicate_keys_multiply(db):
+    db.execute("CREATE TABLE d1 (k INTEGER)")
+    db.execute("CREATE TABLE d2 (k INTEGER)")
+    db.execute("INSERT INTO d1 VALUES (1), (1)")
+    db.execute("INSERT INTO d2 VALUES (1), (1), (1)")
+    assert len(db.execute("SELECT 1 FROM d1 JOIN d2 ON d1.k = d2.k").rows) == 6
+
+
+def test_join_condition_null_is_no_match(db):
+    db.execute("CREATE TABLE n1 (k INTEGER)")
+    db.execute("CREATE TABLE n2 (k INTEGER)")
+    db.execute("INSERT INTO n1 VALUES (NULL), (1)")
+    db.execute("INSERT INTO n2 VALUES (NULL), (1)")
+    rows = db.execute("SELECT n1.k, n2.k FROM n1 JOIN n2 ON n1.k = n2.k").rows
+    assert rows == [(1, 1)]
+
+
+def test_self_join_with_aliases(jdb):
+    rows = jdb.execute(
+        """SELECT a.k, b.k FROM l AS a JOIN l AS b ON a.k + 1 = b.k
+           ORDER BY a.k"""
+    ).rows
+    assert rows == [(1, 2), (2, 3)]
+
+
+def test_parenthesized_join_tree(jdb):
+    rows = jdb.execute(
+        "SELECT l.k FROM (l JOIN r ON l.k = r.k) WHERE rv = 'r2'"
+    ).rows
+    assert rows == [(2,)]

@@ -1,0 +1,94 @@
+"""QUALIFY clause: filtering on window-function results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def q(db: Database) -> Database:
+    db.execute("CREATE TABLE s (grp VARCHAR, v INTEGER)")
+    db.execute(
+        """INSERT INTO s VALUES
+           ('a', 10), ('a', 30), ('a', 20),
+           ('b', 5), ('b', 50)"""
+    )
+    return db
+
+
+def test_qualify_top_per_group(q):
+    rows = q.execute(
+        """SELECT grp, v FROM s
+           QUALIFY ROW_NUMBER() OVER (PARTITION BY grp ORDER BY v DESC) = 1
+           ORDER BY grp"""
+    ).rows
+    assert rows == [("a", 30), ("b", 50)]
+
+
+def test_qualify_window_also_in_select(q):
+    rows = q.execute(
+        """SELECT grp, v, RANK() OVER (PARTITION BY grp ORDER BY v) AS r FROM s
+           QUALIFY RANK() OVER (PARTITION BY grp ORDER BY v) <= 2
+           ORDER BY grp, v"""
+    ).rows
+    assert rows == [("a", 10, 1), ("a", 20, 2), ("b", 5, 1), ("b", 50, 2)]
+
+
+def test_qualify_after_where(q):
+    rows = q.execute(
+        """SELECT grp, v FROM s WHERE v > 5
+           QUALIFY ROW_NUMBER() OVER (PARTITION BY grp ORDER BY v) = 1
+           ORDER BY grp"""
+    ).rows
+    assert rows == [("a", 10), ("b", 50)]
+
+
+def test_qualify_on_aggregate_query(q):
+    rows = q.execute(
+        """SELECT grp, SUM(v) AS total FROM s GROUP BY grp
+           QUALIFY RANK() OVER (ORDER BY SUM(v) DESC) = 1"""
+    ).rows
+    assert rows == [("a", 60)]
+
+
+def test_qualify_aggregate_with_having(q):
+    rows = q.execute(
+        """SELECT grp, SUM(v) AS total FROM s GROUP BY grp
+           HAVING COUNT(*) >= 2
+           QUALIFY ROW_NUMBER() OVER (ORDER BY SUM(v)) = 1"""
+    ).rows
+    assert rows == [("b", 55)]
+
+
+def test_qualify_comparing_value_to_window(q):
+    rows = q.execute(
+        """SELECT grp, v FROM s
+           QUALIFY v > AVG(v) OVER (PARTITION BY grp)
+           ORDER BY grp, v"""
+    ).rows
+    assert rows == [("a", 30), ("b", 50)]
+
+
+def test_qualify_round_trip():
+    from repro.sql import parse_statement, to_sql
+
+    sql = "SELECT a FROM t QUALIFY ROW_NUMBER() OVER (ORDER BY a) = 1"
+    printed = to_sql(parse_statement(sql))
+    assert "QUALIFY" in printed
+    assert to_sql(parse_statement(printed)) == printed
+
+
+def test_qualify_with_measures(db):
+    """QUALIFY composes with measures: top products by measure value."""
+    from repro.workloads.paper_data import load_paper_tables
+
+    load_paper_tables(db)
+    db.execute("CREATE VIEW eo AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders")
+    rows = db.execute(
+        """SELECT prodName, AGGREGATE(r) AS rev FROM eo GROUP BY prodName
+           QUALIFY RANK() OVER (ORDER BY AGGREGATE(r) DESC) <= 2
+           ORDER BY rev DESC"""
+    ).rows
+    assert rows == [("Happy", 17), ("Acme", 5)]

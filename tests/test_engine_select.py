@@ -1,0 +1,202 @@
+"""Core SELECT execution: projections, WHERE, expressions, NULL handling."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro import BindError, Database, ExecutionError
+
+
+@pytest.fixture
+def t(db: Database) -> Database:
+    db.execute("CREATE TABLE t (a INTEGER, b VARCHAR, c DOUBLE, d DATE)")
+    db.execute(
+        """INSERT INTO t VALUES
+           (1, 'x', 1.5, DATE '2024-01-01'),
+           (2, 'y', 2.5, DATE '2024-06-15'),
+           (3, NULL, NULL, NULL),
+           (NULL, 'z', 0.5, DATE '2023-12-31')"""
+    )
+    return db
+
+
+def test_select_constant_without_from(db):
+    assert db.execute("SELECT 1 + 1").scalar() == 2
+
+
+def test_select_star(t):
+    result = t.execute("SELECT * FROM t")
+    assert len(result.rows) == 4
+    assert result.column_names == ["a", "b", "c", "d"]
+
+
+def test_select_qualified_star(t):
+    result = t.execute("SELECT z.* FROM t AS z")
+    assert len(result.rows) == 4
+
+
+def test_projection_expression(t):
+    rows = t.execute("SELECT a * 10 + 1 FROM t WHERE a = 2").rows
+    assert rows == [(21,)]
+
+
+def test_where_filters(t):
+    assert len(t.execute("SELECT a FROM t WHERE a > 1").rows) == 2
+
+
+def test_where_null_is_not_true(t):
+    # a > 1 is NULL for the NULL row: not returned.
+    values = t.execute("SELECT a FROM t WHERE a > 0").column("a")
+    assert None not in values
+
+
+def test_is_null_predicate(t):
+    assert t.execute("SELECT COUNT(*) FROM t WHERE b IS NULL").scalar() == 1
+    assert t.execute("SELECT COUNT(*) FROM t WHERE b IS NOT NULL").scalar() == 3
+
+
+def test_is_not_distinct_from_matches_nulls(t):
+    count = t.execute(
+        "SELECT COUNT(*) FROM t WHERE b IS NOT DISTINCT FROM NULL"
+    ).scalar()
+    assert count == 1
+
+
+def test_in_list(t):
+    assert t.execute("SELECT COUNT(*) FROM t WHERE a IN (1, 3)").scalar() == 2
+
+
+def test_not_in_with_null_operand_filters_row(t):
+    # NULL NOT IN (...) is NULL -> row filtered.
+    assert t.execute("SELECT COUNT(*) FROM t WHERE a NOT IN (99)").scalar() == 3
+
+
+def test_between(t):
+    assert t.execute("SELECT COUNT(*) FROM t WHERE a BETWEEN 2 AND 3").scalar() == 2
+
+
+def test_like(t):
+    t.execute("INSERT INTO t VALUES (9, 'xylophone', 0.0, NULL)")
+    assert t.execute("SELECT COUNT(*) FROM t WHERE b LIKE 'x%'").scalar() == 2
+    assert t.execute("SELECT COUNT(*) FROM t WHERE b LIKE '_ylophone'").scalar() == 1
+
+
+def test_like_escape(db):
+    db.execute("CREATE TABLE s (v VARCHAR)")
+    db.execute("INSERT INTO s VALUES ('50%'), ('50x')")
+    assert db.execute("SELECT COUNT(*) FROM s WHERE v LIKE '50!%' ESCAPE '!'").scalar() == 1
+
+
+def test_case_searched(t):
+    rows = t.execute(
+        """SELECT a, CASE WHEN a >= 2 THEN 'big' WHEN a = 1 THEN 'small' END
+           FROM t WHERE a IS NOT NULL ORDER BY a"""
+    ).rows
+    assert rows == [(1, "small"), (2, "big"), (3, "big")]
+
+
+def test_case_simple_with_else(t):
+    rows = t.execute(
+        "SELECT CASE a WHEN 1 THEN 'one' ELSE 'other' END FROM t WHERE a = 1"
+    ).rows
+    assert rows == [("one",)]
+
+
+def test_case_no_match_yields_null(t):
+    assert t.execute("SELECT CASE WHEN FALSE THEN 1 END").scalar() is None
+
+
+def test_cast_runtime(t):
+    assert t.execute("SELECT CAST('42' AS INTEGER)").scalar() == 42
+    assert t.execute("SELECT CAST(1 AS DOUBLE)").scalar() == 1.0
+    assert t.execute("SELECT CAST('2024-03-01' AS DATE)").scalar() == datetime.date(2024, 3, 1)
+    assert t.execute("SELECT CAST(1.9 AS INTEGER)").scalar() == 1
+
+
+def test_cast_failure_raises(t):
+    with pytest.raises(ExecutionError):
+        t.execute("SELECT CAST('nope' AS INTEGER)")
+
+
+def test_integer_division_yields_double(t):
+    assert t.execute("SELECT 1 / 2").scalar() == 0.5
+
+
+def test_division_by_zero_raises(t):
+    with pytest.raises(ExecutionError):
+        t.execute("SELECT 1 / 0")
+
+
+def test_division_by_zero_in_unreached_case_branch_ok(t):
+    assert t.execute("SELECT CASE WHEN TRUE THEN 1 ELSE 1 / 0 END").scalar() == 1
+
+
+def test_and_short_circuit_avoids_error(t):
+    # x <> 0 AND 1/x ... : rows with x = 0 must not evaluate the division.
+    t.execute("CREATE TABLE z (x INTEGER)")
+    t.execute("INSERT INTO z VALUES (0), (2)")
+    rows = t.execute("SELECT x FROM z WHERE x <> 0 AND 10 / x > 1").rows
+    assert rows == [(2,)]
+
+
+def test_or_short_circuit(t):
+    t.execute("CREATE TABLE z2 (x INTEGER)")
+    t.execute("INSERT INTO z2 VALUES (0), (2)")
+    rows = t.execute("SELECT x FROM z2 WHERE x = 0 OR 10 / x > 1 ORDER BY x").rows
+    assert rows == [(0,), (2,)]
+
+
+def test_concat_operator(t):
+    assert t.execute("SELECT 'a' || 'b' || 'c'").scalar() == "abc"
+    assert t.execute("SELECT 'a' || NULL").scalar() is None
+
+
+def test_date_arithmetic(t):
+    assert t.execute("SELECT DATE '2024-01-01' + 31").scalar() == datetime.date(2024, 2, 1)
+    assert t.execute("SELECT DATE '2024-02-01' - DATE '2024-01-01'").scalar() == 31
+
+
+def test_unknown_column_raises(t):
+    with pytest.raises(BindError):
+        t.execute("SELECT nosuch FROM t")
+
+
+def test_unknown_table_raises(db):
+    from repro import CatalogError
+
+    with pytest.raises(CatalogError):
+        db.execute("SELECT 1 FROM nothere")
+
+
+def test_ambiguous_column_raises(db):
+    db.execute("CREATE TABLE p (k INTEGER)")
+    db.execute("CREATE TABLE q (k INTEGER)")
+    with pytest.raises(BindError):
+        db.execute("SELECT k FROM p, q")
+
+
+def test_alias_shadows_in_qualified_ref(t):
+    rows = t.execute("SELECT z.a FROM t AS z WHERE z.a = 1").rows
+    assert rows == [(1,)]
+
+
+def test_original_name_unavailable_after_alias(t):
+    with pytest.raises(BindError):
+        t.execute("SELECT t.a FROM t AS z")
+
+
+def test_column_names_case_insensitive(t):
+    assert t.execute("SELECT A FROM t WHERE a = 1").rows == [(1,)]
+
+
+def test_duplicate_alias_raises(db):
+    db.execute("CREATE TABLE p (k INTEGER)")
+    with pytest.raises(BindError):
+        db.execute("SELECT 1 FROM p AS x, p AS x")
+
+
+def test_select_item_names(t):
+    result = t.execute("SELECT a, a + 1 AS next, UPPER(b) FROM t WHERE a = 1")
+    assert result.column_names == ["a", "next", "upper"]

@@ -1,0 +1,165 @@
+"""Subquery execution: scalar, EXISTS, IN; correlation; memoization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BindError, Database, ExecutionError
+
+
+@pytest.fixture
+def sdb(db: Database) -> Database:
+    db.execute("CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER)")
+    db.execute(
+        """INSERT INTO emp VALUES
+           ('ann', 'eng', 100), ('bo', 'eng', 80),
+           ('cy', 'ops', 60), ('di', 'ops', 70)"""
+    )
+    return db
+
+
+def test_uncorrelated_scalar_subquery(sdb):
+    rows = sdb.execute(
+        "SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY name"
+    ).rows
+    assert rows == [("ann",), ("bo",)]  # AVG is 77.5
+
+
+def test_correlated_scalar_subquery(sdb):
+    rows = sdb.execute(
+        """SELECT name FROM emp AS e
+           WHERE salary > (SELECT AVG(salary) FROM emp AS i WHERE i.dept = e.dept)
+           ORDER BY name"""
+    ).rows
+    assert rows == [("ann",), ("di",)]
+
+
+def test_scalar_subquery_empty_is_null(sdb):
+    assert (
+        sdb.execute("SELECT (SELECT salary FROM emp WHERE name = 'zz')").scalar()
+        is None
+    )
+
+
+def test_scalar_subquery_multiple_rows_raises(sdb):
+    with pytest.raises(ExecutionError):
+        sdb.execute("SELECT (SELECT salary FROM emp)")
+
+
+def test_scalar_subquery_must_have_one_column(sdb):
+    with pytest.raises(BindError):
+        sdb.execute("SELECT (SELECT name, salary FROM emp WHERE name = 'ann')")
+
+
+def test_exists(sdb):
+    rows = sdb.execute(
+        """SELECT DISTINCT dept FROM emp AS e
+           WHERE EXISTS (SELECT 1 FROM emp AS i
+                         WHERE i.dept = e.dept AND i.salary >= 100)"""
+    ).rows
+    assert rows == [("eng",)]
+
+
+def test_not_exists(sdb):
+    rows = sdb.execute(
+        """SELECT DISTINCT dept FROM emp AS e
+           WHERE NOT EXISTS (SELECT 1 FROM emp AS i
+                             WHERE i.dept = e.dept AND i.salary >= 100)"""
+    ).rows
+    assert rows == [("ops",)]
+
+
+def test_in_subquery(sdb):
+    rows = sdb.execute(
+        """SELECT name FROM emp
+           WHERE dept IN (SELECT dept FROM emp WHERE salary >= 100)
+           ORDER BY name"""
+    ).rows
+    assert rows == [("ann",), ("bo",)]
+
+
+def test_not_in_subquery_with_null_yields_nothing(sdb):
+    sdb.execute("INSERT INTO emp VALUES ('nn', NULL, 50)")
+    rows = sdb.execute(
+        "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM emp)"
+    ).rows
+    # The NULL dept in the subquery makes NOT IN unknowable for every row.
+    assert rows == []
+
+
+def test_subquery_in_select_list(sdb):
+    rows = sdb.execute(
+        """SELECT name, (SELECT MAX(salary) FROM emp AS i WHERE i.dept = e.dept)
+           FROM emp AS e ORDER BY name"""
+    ).rows
+    assert rows == [("ann", 100), ("bo", 100), ("cy", 70), ("di", 70)]
+
+
+def test_correlated_subquery_in_select_of_grouped_query(sdb):
+    rows = sdb.execute(
+        """SELECT dept,
+                  (SELECT COUNT(*) FROM emp AS i WHERE i.dept = e.dept) AS n
+           FROM emp AS e GROUP BY dept ORDER BY dept"""
+    ).rows
+    assert rows == [("eng", 2), ("ops", 2)]
+
+
+def test_correlated_on_group_expression(sdb):
+    rows = sdb.execute(
+        """SELECT UPPER(dept),
+                  (SELECT SUM(salary) FROM emp AS i WHERE UPPER(i.dept) = UPPER(e.dept))
+           FROM emp AS e GROUP BY UPPER(dept) ORDER BY 1"""
+    ).rows
+    assert rows == [("ENG", 180), ("OPS", 130)]
+
+
+def test_correlation_to_nongrouped_column_rejected(sdb):
+    with pytest.raises(BindError):
+        sdb.execute(
+            """SELECT dept,
+                      (SELECT COUNT(*) FROM emp AS i WHERE i.name = e.name)
+               FROM emp AS e GROUP BY dept"""
+        )
+
+
+def test_nested_correlation_two_levels(sdb):
+    rows = sdb.execute(
+        """SELECT name FROM emp AS e
+           WHERE salary = (SELECT MAX(salary) FROM emp AS i
+                           WHERE i.dept = e.dept
+                             AND EXISTS (SELECT 1 FROM emp AS j
+                                         WHERE j.dept = e.dept AND j.salary < i.salary))
+           ORDER BY name"""
+    ).rows
+    assert rows == [("ann",), ("di",)]
+
+
+def test_subquery_cache_hits(sdb):
+    sdb.execute(
+        """SELECT name FROM emp AS e
+           WHERE salary > (SELECT AVG(salary) FROM emp AS i WHERE i.dept = e.dept)"""
+    )
+    stats = sdb.last_stats
+    # Four rows but only two distinct departments: two executions, two hits.
+    assert stats.subquery_executions == 2
+    assert stats.subquery_cache_hits == 2
+
+
+def test_subquery_cache_disabled(sdb):
+    cold = Database(cache=False)
+    cold.execute("CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER)")
+    cold.execute(
+        """INSERT INTO emp VALUES ('ann', 'eng', 100), ('bo', 'eng', 80),
+           ('cy', 'ops', 60), ('di', 'ops', 70)"""
+    )
+    cold.execute(
+        """SELECT name FROM emp AS e
+           WHERE salary > (SELECT AVG(salary) FROM emp AS i WHERE i.dept = e.dept)"""
+    )
+    assert cold.last_stats.subquery_executions == 4
+    assert cold.last_stats.subquery_cache_hits == 0
+
+
+def test_subquery_over_view(sdb):
+    sdb.execute("CREATE VIEW eng AS SELECT * FROM emp WHERE dept = 'eng'")
+    assert sdb.execute("SELECT (SELECT COUNT(*) FROM eng)").scalar() == 2

@@ -1,0 +1,170 @@
+"""Error handling: every failure mode should raise a precise, typed error
+with a message that names the offender."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BindError,
+    CatalogError,
+    Database,
+    ExecutionError,
+    LexerError,
+    MeasureError,
+    ParseError,
+    SqlError,
+    UnsupportedError,
+)
+
+
+def test_error_hierarchy():
+    for exc in (LexerError, ParseError, BindError, CatalogError,
+                ExecutionError, MeasureError, UnsupportedError):
+        assert issubclass(exc, SqlError)
+    assert issubclass(MeasureError, BindError)
+
+
+def test_lexer_error_message_and_position(db):
+    with pytest.raises(LexerError, match="line 1, column 8"):
+        db.execute("SELECT ~x FROM t")
+
+
+def test_parse_error_names_found_token(db):
+    with pytest.raises(ParseError, match="found 'FROM'"):
+        db.execute("SELECT FROM t GROUP BY x")
+
+
+def test_unknown_table_names_table(db):
+    with pytest.raises(CatalogError, match="ghost"):
+        db.execute("SELECT 1 FROM ghost")
+
+
+def test_unknown_column_names_column(paper_db):
+    with pytest.raises(BindError, match="shoeSize"):
+        paper_db.execute("SELECT shoeSize FROM Orders")
+
+
+def test_ambiguous_column_names_column(paper_db):
+    with pytest.raises(BindError, match="custName"):
+        paper_db.execute("SELECT custName FROM Orders, Customers")
+
+
+def test_unknown_function_names_function(db):
+    with pytest.raises(BindError, match="TELEPORT"):
+        db.execute("SELECT TELEPORT(1)")
+
+
+def test_aggregate_in_where_names_clause(paper_db):
+    with pytest.raises(BindError, match="WHERE"):
+        paper_db.execute("SELECT 1 FROM Orders WHERE SUM(revenue) > 1")
+
+
+def test_nongrouped_column_names_column(paper_db):
+    with pytest.raises(BindError, match="custName"):
+        paper_db.execute("SELECT custName FROM Orders GROUP BY prodName")
+
+
+def test_order_by_position_out_of_range(paper_db):
+    with pytest.raises(BindError, match="position 9"):
+        paper_db.execute("SELECT prodName FROM Orders ORDER BY 9")
+
+
+def test_group_by_position_out_of_range(paper_db):
+    with pytest.raises(BindError, match="position 4"):
+        paper_db.execute("SELECT prodName FROM Orders GROUP BY 4")
+
+
+def test_aggregate_of_plain_column(paper_db):
+    with pytest.raises(MeasureError, match="must be a measure"):
+        paper_db.execute("SELECT AGGREGATE(revenue) FROM Orders")
+
+
+def test_at_on_plain_column(paper_db):
+    with pytest.raises(MeasureError, match="AT"):
+        paper_db.execute("SELECT revenue AT (ALL) FROM Orders")
+
+
+def test_current_outside_set(paper_db):
+    with pytest.raises(MeasureError, match="CURRENT"):
+        paper_db.execute("SELECT CURRENT prodName FROM Orders")
+
+
+def test_recursive_measures_report_cycle(paper_db):
+    with pytest.raises(MeasureError, match="a -> b -> a"):
+        paper_db.execute(
+            """SELECT AGGREGATE(a) FROM
+               (SELECT prodName, b + 0 AS MEASURE a, a + 0 AS MEASURE b
+                FROM Orders)"""
+        )
+
+
+def test_measure_without_name(paper_db):
+    with pytest.raises(ParseError):
+        paper_db.execute("SELECT SUM(revenue) AS MEASURE FROM Orders")
+
+
+def test_division_by_zero_is_execution_error(db):
+    with pytest.raises(ExecutionError, match="division by zero"):
+        db.execute("SELECT 1 / (2 - 2)")
+
+
+def test_scalar_subquery_cardinality_error(paper_db):
+    with pytest.raises(ExecutionError, match="more than one row"):
+        paper_db.execute("SELECT (SELECT revenue FROM Orders)")
+
+
+def test_comparison_type_clash(db):
+    with pytest.raises(ExecutionError, match="cannot compare"):
+        db.execute("SELECT 1 WHERE 'a' < 1")
+
+
+def test_insert_row_arity(db):
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+    with pytest.raises(CatalogError, match="2 values"):
+        db.execute("INSERT INTO t VALUES (1, 2, 3)")
+
+
+def test_cast_to_measure_type_unsupported(paper_db):
+    with pytest.raises(UnsupportedError, match="MEASURE"):
+        paper_db.execute("SELECT CAST(revenue AS INTEGER MEASURE) FROM Orders")
+
+
+def test_setop_arity_message(db):
+    with pytest.raises(BindError, match="UNION"):
+        db.execute("SELECT 1, 2 UNION SELECT 3")
+
+
+def test_window_in_group_by(paper_db):
+    with pytest.raises(BindError):
+        paper_db.execute(
+            "SELECT 1 FROM Orders GROUP BY ROW_NUMBER() OVER (ORDER BY revenue)"
+        )
+
+
+def test_values_arity_mismatch(db):
+    with pytest.raises(BindError, match="arity"):
+        db.execute("VALUES (1, 2), (3)")
+
+
+def test_errors_do_not_corrupt_database(db):
+    """After any failure the database stays usable and unchanged."""
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    for bad in (
+        "SELECT nosuch FROM t",
+        "INSERT INTO t VALUES ('x')",
+        "SELECT 1 / 0 FROM t",
+        "SELECT * FROM missing",
+    ):
+        with pytest.raises(SqlError):
+            db.execute(bad)
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_view_with_error_rejected_but_catalog_clean(db):
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(BindError):
+        db.execute("CREATE VIEW v AS SELECT broken FROM t")
+    assert "v" not in db.catalog
+    db.execute("CREATE VIEW v AS SELECT a FROM t")  # name still free

@@ -1,0 +1,216 @@
+"""Measure expansion to plain SQL (paper section 4.2) and its equivalence
+with the top-down interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, UnsupportedError
+from repro.workloads.generator import WorkloadConfig, workload_database
+
+
+@pytest.fixture
+def edb(paper_db: Database) -> Database:
+    paper_db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                  SUM(revenue) AS MEASURE rev,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+           FROM Orders"""
+    )
+    return paper_db
+
+
+EQUIVALENCE_QUERIES = [
+    # (id, sql)
+    (
+        "group-by-aggregate",
+        "SELECT prodName, AGGREGATE(rev) AS r FROM eo GROUP BY prodName ORDER BY prodName",
+    ),
+    (
+        "global-aggregate",
+        "SELECT AGGREGATE(rev) FROM eo",
+    ),
+    (
+        "bare-measure-ignores-where",
+        """SELECT prodName, rev AS r FROM eo WHERE custName = 'Alice'
+           GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "visible-where",
+        """SELECT prodName, rev AT (VISIBLE) AS r FROM eo WHERE custName <> 'Bob'
+           GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "all-proportion",
+        """SELECT prodName, rev / rev AT (ALL prodName) AS share FROM eo
+           GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "all-clears-everything",
+        "SELECT prodName, rev AT (ALL) AS total FROM eo GROUP BY prodName ORDER BY prodName",
+    ),
+    (
+        "set-constant",
+        """SELECT prodName, rev AT (SET custName = 'Bob') AS bob FROM eo
+           GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "set-current-arithmetic",
+        """SELECT orderYear, rev AT (SET orderYear = CURRENT orderYear - 1) AS prev
+           FROM eo GROUP BY orderYear ORDER BY orderYear""",
+    ),
+    (
+        "where-modifier",
+        """SELECT prodName, rev AT (WHERE orderYear = 2023) AS y23 FROM eo
+           GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "where-modifier-correlated",
+        """SELECT prodName, rev AT (WHERE prodName = eo.prodName AND orderYear = 2023) AS v
+           FROM eo GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "row-grain-in-where",
+        """SELECT prodName, custName FROM eo
+           WHERE rev AT (WHERE prodName = eo.prodName) > 5
+           ORDER BY prodName, custName""",
+    ),
+    (
+        "multiple-measures",
+        """SELECT prodName, AGGREGATE(rev) AS r, AGGREGATE(margin) AS m
+           FROM eo GROUP BY prodName ORDER BY prodName""",
+    ),
+    (
+        "having-on-measure",
+        """SELECT prodName FROM eo GROUP BY prodName
+           HAVING AGGREGATE(margin) > 0.5 ORDER BY prodName""",
+    ),
+    (
+        "adhoc-group-dimension",
+        """SELECT prodName, YEAR(orderDate) AS y, AGGREGATE(rev) AS r FROM
+           (SELECT prodName, orderDate, SUM(revenue) AS MEASURE rev FROM Orders)
+           GROUP BY prodName, YEAR(orderDate) ORDER BY prodName, y""",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "sql", [q for _, q in EQUIVALENCE_QUERIES], ids=[i for i, _ in EQUIVALENCE_QUERIES]
+)
+def test_expansion_equivalence(edb, sql):
+    """The static rewrite and the interpreter agree on every query shape."""
+    expanded = edb.expand(sql)
+    assert "AGGREGATE(" not in expanded
+    assert " AT " not in expanded
+    interpreted = edb.execute(sql).rows
+    rewritten = edb.execute(expanded).rows
+
+    def normalize(rows):
+        return [
+            tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+            for row in rows
+        ]
+
+    assert normalize(rewritten) == normalize(interpreted)
+
+
+def test_expanded_sql_is_reparseable(edb):
+    sql = "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName"
+    from repro.sql import parse_statement, to_sql
+
+    expanded = edb.expand(sql)
+    assert to_sql(parse_statement(expanded))
+
+
+def test_explain_expand_statement(edb):
+    result = edb.execute(
+        "EXPLAIN EXPAND SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName"
+    )
+    assert result.column_names == ["expanded_sql"]
+    assert "IS NOT DISTINCT FROM" in result.scalar()
+
+
+def test_expansion_of_query_without_measures_is_identity_modulo_syntax(edb):
+    sql = "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY prodName"
+    assert edb.execute(edb.expand(sql)).rows == edb.execute(sql).rows
+
+
+def test_expansion_strips_view_to_listing5_shape(edb):
+    expanded = edb.expand("SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName")
+    # The measure table is replaced by its measure-free projection...
+    assert "AS MEASURE" not in expanded
+    # ...and the measure by a correlated scalar subquery over Orders.
+    assert expanded.count("FROM Orders") >= 1
+
+
+def test_expansion_inlines_sibling_measures(paper_db):
+    paper_db.execute(
+        """CREATE VIEW sib AS
+           SELECT prodName,
+                  SUM(revenue) AS MEASURE a,
+                  a * 2 AS MEASURE b
+           FROM Orders"""
+    )
+    sql = "SELECT prodName, AGGREGATE(b) AS bb FROM sib GROUP BY prodName ORDER BY prodName"
+    expanded = paper_db.expand(sql)
+    assert paper_db.execute(expanded).rows == paper_db.execute(sql).rows
+
+
+def test_expansion_with_view_over_view(paper_db):
+    paper_db.execute("CREATE VIEW base AS SELECT * FROM Orders WHERE revenue > 3")
+    paper_db.execute(
+        "CREATE VIEW em AS SELECT prodName, SUM(revenue) AS MEASURE r FROM base"
+    )
+    sql = "SELECT prodName, AGGREGATE(r) FROM em GROUP BY prodName ORDER BY prodName"
+    assert paper_db.execute(paper_db.expand(sql)).rows == paper_db.execute(sql).rows
+
+
+def test_expansion_baked_where(paper_db):
+    paper_db.execute(
+        """CREATE VIEW alice AS
+           SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders
+           WHERE custName = 'Alice'"""
+    )
+    sql = "SELECT prodName, r AT (ALL) AS t FROM alice GROUP BY prodName"
+    expanded = paper_db.expand(sql)
+    assert "Alice" in expanded  # the defining WHERE travels into the subquery
+    assert paper_db.execute(expanded).rows == paper_db.execute(sql).rows
+
+
+def test_expansion_visible_across_join_unsupported(paper_db):
+    paper_db.execute(
+        "CREATE VIEW ec AS SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers"
+    )
+    with pytest.raises(UnsupportedError):
+        paper_db.expand(
+            """SELECT o.prodName, AGGREGATE(c.avgAge)
+               FROM Orders AS o JOIN ec AS c USING (custName)
+               WHERE c.custAge >= 18 GROUP BY o.prodName"""
+        )
+
+
+def test_expansion_composed_measure_unsupported(edb):
+    with pytest.raises(UnsupportedError):
+        edb.expand(
+            """SELECT prodName, AGGREGATE(m2) FROM
+               (SELECT prodName, AGGREGATE(rev) AS MEASURE m2 FROM eo)
+               GROUP BY prodName"""
+        )
+
+
+def test_expansion_equivalence_on_synthetic_workload():
+    """Interpreter vs expansion on a few hundred synthetic orders."""
+    db = workload_database(WorkloadConfig(orders=300, products=10, customers=20))
+    db.execute(
+        """CREATE VIEW em AS
+           SELECT prodName, custName, YEAR(orderDate) AS y,
+                  SUM(revenue) AS MEASURE r FROM Orders"""
+    )
+    sql = """SELECT prodName, y, AGGREGATE(r) AS r,
+                    r AT (SET y = CURRENT y - 1) AS prev,
+                    r / r AT (ALL prodName, y) AS share
+             FROM em GROUP BY prodName, y ORDER BY prodName, y"""
+    interpreted = db.execute(sql).rows
+    rewritten = db.execute(db.expand(sql)).rows
+    assert interpreted == rewritten

@@ -1,0 +1,117 @@
+"""Cross-feature integration: parameters + measures + pivot + qualify +
+within-distinct composed in single queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads.paper_data import load_paper_tables
+
+
+@pytest.fixture
+def full(db: Database) -> Database:
+    load_paper_tables(db)
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, YEAR(orderDate) AS y,
+                  SUM(revenue) AS MEASURE rev FROM Orders"""
+    )
+    return db
+
+
+def test_params_in_at_where(full):
+    # WHERE replaces the context, so the product correlation is explicit.
+    rows = full.execute(
+        """SELECT prodName, rev AT (WHERE prodName = eo.prodName AND custName = ?) AS v
+           FROM eo GROUP BY prodName ORDER BY prodName""",
+        ("Bob",),
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 4), ("Whizz", None)]
+
+
+def test_param_in_replacing_at_where_is_global(full):
+    """Without explicit correlation the parameterized WHERE defines the
+    whole context: every group sees Bob's global total."""
+    rows = full.execute(
+        "SELECT prodName, rev AT (WHERE custName = ?) AS v FROM eo GROUP BY prodName",
+        ("Bob",),
+    ).rows
+    assert all(r[1] == 9 for r in rows)
+
+
+def test_params_in_set_value(full):
+    rows = full.execute(
+        "SELECT y, rev AT (SET y = ?) AS v FROM eo GROUP BY y ORDER BY y",
+        (2023,),
+    ).rows
+    assert all(r[1] == 14 for r in rows)
+
+
+def test_qualify_over_pivot(full):
+    rows = full.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName, revenue FROM Orders)
+             PIVOT(SUM(revenue) FOR custName IN ('Alice' AS alice, 'Bob' AS bob))
+           QUALIFY ROW_NUMBER() OVER (ORDER BY COALESCE(alice, 0) DESC) = 1"""
+    ).rows
+    assert rows == [("Happy", 13, 4)]
+
+
+def test_measure_of_pivoted_subquery(full):
+    """Measures defined over a pivoted derived table."""
+    rows = full.execute(
+        """SELECT AGGREGATE(m) FROM
+           (SELECT prodName, SUM(alice) AS MEASURE m FROM
+              ((SELECT prodName, custName, revenue FROM Orders)
+               PIVOT(SUM(revenue) FOR custName IN ('Alice' AS alice))))
+        """
+    ).rows
+    assert rows == [(13,)]
+
+
+def test_unpivot_then_measure(full):
+    full.execute("CREATE TABLE w (k VARCHAR, a INTEGER, b INTEGER)")
+    full.execute("INSERT INTO w VALUES ('x', 1, 2), ('y', 3, 4)")
+    rows = full.execute(
+        """SELECT col, AGGREGATE(total) FROM
+           (SELECT col, SUM(v) AS MEASURE total FROM
+              (w UNPIVOT(v FOR col IN (a, b))))
+           GROUP BY col ORDER BY col"""
+    ).rows
+    assert rows == [("a", 4), ("b", 6)]
+
+
+def test_within_distinct_plus_measure_plus_param(full):
+    full.execute(
+        """CREATE TABLE lines (orderId INTEGER, part VARCHAR, ship INTEGER)"""
+    )
+    full.execute(
+        "INSERT INTO lines VALUES (1, 'a', 5), (1, 'b', 5), (2, 'a', 7)"
+    )
+    full.execute(
+        """CREATE VIEW lm AS
+           SELECT orderId, part,
+                  SUM(ship) WITHIN DISTINCT (orderId) AS MEASURE shipping
+           FROM lines"""
+    )
+    value = full.execute(
+        "SELECT AGGREGATE(shipping) FROM lm WHERE orderId = ?",
+        (1,),
+    ).scalar()
+    assert value == 5
+
+
+def test_explain_expand_of_parameterized_query(full):
+    expanded = full.execute(
+        "EXPLAIN EXPAND SELECT prodName, rev AT (WHERE y = 2023) FROM eo GROUP BY prodName"
+    ).scalar()
+    assert "2023" in expanded
+
+
+def test_update_uses_measure_snapshot(full):
+    full.execute("CREATE TABLE plan2024 (prodName VARCHAR, target INTEGER)")
+    full.execute(
+        "INSERT INTO plan2024 SELECT prodName, AGGREGATE(rev) * 2 FROM eo GROUP BY prodName"
+    )
+    assert full.execute("SELECT SUM(target) FROM plan2024").scalar() == 50

@@ -1,0 +1,205 @@
+"""Scalar function library tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro import BindError, Database, ExecutionError
+
+
+@pytest.fixture
+def db1(db: Database) -> Database:
+    return db
+
+
+def val(db, expr):
+    return db.execute(f"SELECT {expr}").scalar()
+
+
+# -- dates ----------------------------------------------------------------
+
+
+def test_year_month_day(db1):
+    assert val(db1, "YEAR(DATE '2023-11-28')") == 2023
+    assert val(db1, "MONTH(DATE '2023-11-28')") == 11
+    assert val(db1, "DAY(DATE '2023-11-28')") == 28
+
+
+def test_quarter(db1):
+    assert val(db1, "QUARTER(DATE '2023-02-01')") == 1
+    assert val(db1, "QUARTER(DATE '2023-11-01')") == 4
+
+
+def test_dayofweek_iso(db1):
+    assert val(db1, "DAYOFWEEK(DATE '2024-01-01')") == 1  # a Monday
+    assert val(db1, "DAYOFWEEK(DATE '2024-01-07')") == 7  # a Sunday
+
+
+def test_dayofyear(db1):
+    assert val(db1, "DAYOFYEAR(DATE '2024-02-01')") == 32
+
+
+def test_date_trunc(db1):
+    assert val(db1, "DATE_TRUNC_MONTH(DATE '2024-02-29')") == datetime.date(2024, 2, 1)
+    assert val(db1, "DATE_TRUNC_YEAR(DATE '2024-02-29')") == datetime.date(2024, 1, 1)
+
+
+def test_date_from_parts_add_diff(db1):
+    assert val(db1, "DATE_FROM_PARTS(2024, 2, 29)") == datetime.date(2024, 2, 29)
+    assert val(db1, "DATE_ADD(DATE '2024-01-01', 60)") == datetime.date(2024, 3, 1)
+    assert val(db1, "DATE_DIFF(DATE '2024-03-01', DATE '2024-01-01')") == 60
+
+
+def test_extract_sugar(db1):
+    assert val(db1, "EXTRACT(YEAR FROM DATE '2020-05-01')") == 2020
+    assert val(db1, "EXTRACT(MONTH FROM DATE '2020-05-01')") == 5
+
+
+def test_year_of_non_date_raises(db1):
+    with pytest.raises(ExecutionError):
+        val(db1, "YEAR(42)")
+
+
+# -- numerics ----------------------------------------------------------------
+
+
+def test_abs_sign(db1):
+    assert val(db1, "ABS(-7)") == 7
+    assert val(db1, "SIGN(-7)") == -1
+    assert val(db1, "SIGN(0)") == 0
+
+
+def test_floor_ceil(db1):
+    assert val(db1, "FLOOR(1.7)") == 1
+    assert val(db1, "CEIL(1.2)") == 2
+    assert val(db1, "FLOOR(-1.2)") == -2
+    assert val(db1, "CEILING(-1.7)") == -1
+
+
+def test_round(db1):
+    assert val(db1, "ROUND(2.567, 2)") == pytest.approx(2.57)
+    assert val(db1, "ROUND(2.5)") == 2.0  # banker's rounding, like Python
+
+
+def test_sqrt_power(db1):
+    assert val(db1, "SQRT(16)") == 4.0
+    assert val(db1, "POWER(2, 10)") == 1024.0
+
+
+def test_mod(db1):
+    assert val(db1, "MOD(7, 3)") == 1
+
+
+def test_mod_by_zero_raises(db1):
+    with pytest.raises(ExecutionError):
+        val(db1, "MOD(7, 0)")
+
+
+def test_safe_divide(db1):
+    assert val(db1, "SAFE_DIVIDE(10, 4)") == 2.5
+    assert val(db1, "SAFE_DIVIDE(10, 0)") is None
+
+
+def test_ln_exp_log10(db1):
+    assert val(db1, "LN(EXP(1.0))") == pytest.approx(1.0)
+    assert val(db1, "LOG10(1000)") == pytest.approx(3.0)
+
+
+def test_trunc(db1):
+    assert val(db1, "TRUNC(1.9)") == 1
+    assert val(db1, "TRUNC(-1.9)") == -1
+
+
+# -- strings ----------------------------------------------------------------
+
+
+def test_upper_lower_length(db1):
+    assert val(db1, "UPPER('abc')") == "ABC"
+    assert val(db1, "LOWER('ABC')") == "abc"
+    assert val(db1, "LENGTH('hello')") == 5
+
+
+def test_trim_variants(db1):
+    assert val(db1, "TRIM('  x  ')") == "x"
+    assert val(db1, "LTRIM('  x')") == "x"
+    assert val(db1, "RTRIM('x  ')") == "x"
+
+
+def test_substring(db1):
+    assert val(db1, "SUBSTRING('hello', 2, 3)") == "ell"
+    assert val(db1, "SUBSTR('hello', 3)") == "llo"
+
+
+def test_replace_reverse(db1):
+    assert val(db1, "REPLACE('banana', 'na', 'NA')") == "baNANA"
+    assert val(db1, "REVERSE('abc')") == "cba"
+
+
+def test_concat_function(db1):
+    assert val(db1, "CONCAT('a', 'b', 'c')") == "abc"
+    assert val(db1, "CONCAT('n=', 1)") == "n=1"
+
+
+def test_strpos(db1):
+    assert val(db1, "STRPOS('hello', 'll')") == 3
+    assert val(db1, "STRPOS('hello', 'zz')") == 0
+
+
+def test_left_right(db1):
+    assert val(db1, "LEFT('hello', 2)") == "he"
+    assert val(db1, "RIGHT('hello', 2)") == "lo"
+
+
+def test_starts_ends_with(db1):
+    assert val(db1, "STARTS_WITH('hello', 'he')") is True
+    assert val(db1, "ENDS_WITH('hello', 'lo')") is True
+    assert val(db1, "ENDS_WITH('hello', 'he')") is False
+
+
+# -- conditionals -----------------------------------------------------------
+
+
+def test_coalesce(db1):
+    assert val(db1, "COALESCE(NULL, NULL, 3, 4)") == 3
+    assert val(db1, "COALESCE(NULL, NULL)") is None
+
+
+def test_ifnull_nullif(db1):
+    assert val(db1, "IFNULL(NULL, 9)") == 9
+    assert val(db1, "IFNULL(1, 9)") == 1
+    assert val(db1, "NULLIF(5, 5)") is None
+    assert val(db1, "NULLIF(5, 6)") == 5
+
+
+def test_if(db1):
+    assert val(db1, "IF(1 < 2, 'yes', 'no')") == "yes"
+    assert val(db1, "IF(NULL, 'yes', 'no')") == "no"
+
+
+def test_greatest_least(db1):
+    assert val(db1, "GREATEST(3, 9, 1)") == 9
+    assert val(db1, "LEAST(3, 9, 1)") == 1
+    assert val(db1, "GREATEST(3, NULL)") is None
+
+
+# -- null propagation and errors ------------------------------------------------
+
+
+def test_functions_propagate_null(db1):
+    assert val(db1, "UPPER(NULL)") is None
+    assert val(db1, "ABS(NULL)") is None
+    assert val(db1, "YEAR(NULL)") is None
+
+
+def test_unknown_function_raises(db1):
+    with pytest.raises(BindError):
+        val(db1, "FROBNICATE(1)")
+
+
+def test_wrong_arity_raises(db1):
+    with pytest.raises(BindError):
+        val(db1, "YEAR(DATE '2024-01-01', 2)")
+    with pytest.raises(BindError):
+        val(db1, "SUBSTRING('x')")

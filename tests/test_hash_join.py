@@ -1,0 +1,155 @@
+"""Hash-join correctness: the equi-join fast path must be indistinguishable
+from the nested loop (including outer padding, NULL keys, residuals)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.engine import executor
+
+
+@pytest.fixture
+def jdb(db: Database) -> Database:
+    db.execute("CREATE TABLE l (k INTEGER, k2 VARCHAR, lv INTEGER)")
+    db.execute("CREATE TABLE r (k INTEGER, k2 VARCHAR, rv INTEGER)")
+    db.execute(
+        """INSERT INTO l VALUES
+           (1, 'a', 10), (1, 'b', 11), (2, 'a', 20), (NULL, 'a', 30)"""
+    )
+    db.execute(
+        """INSERT INTO r VALUES
+           (1, 'a', 100), (1, 'a', 101), (2, 'b', 200), (NULL, 'a', 300)"""
+    )
+    return db
+
+
+def test_extract_equi_keys():
+    from repro.semantics import bound as b
+    from repro.types import BOOLEAN, INTEGER, sql_compare
+
+    def col(offset):
+        return b.BoundColumn(offset, INTEGER)
+
+    def eq(x, y):
+        return b.BoundCall("=", [col(x), col(y)], BOOLEAN, lambda a, c: sql_compare("=", a, c))
+
+    from repro.types import sql_and
+
+    condition = b.BoundCall("AND", [eq(0, 3), eq(4, 1)], BOOLEAN, sql_and)
+    keys, residual = executor._extract_equi_keys(condition, 3)
+    assert keys == [(0, 0), (1, 1)]
+    assert residual == []
+
+
+def test_extract_keys_keeps_residual():
+    from repro.semantics import bound as b
+    from repro.types import BOOLEAN, INTEGER, sql_and, sql_compare
+
+    eq = b.BoundCall(
+        "=",
+        [b.BoundColumn(0, INTEGER), b.BoundColumn(2, INTEGER)],
+        BOOLEAN,
+        lambda a, c: sql_compare("=", a, c),
+    )
+    lt = b.BoundCall(
+        "<",
+        [b.BoundColumn(1, INTEGER), b.BoundColumn(3, INTEGER)],
+        BOOLEAN,
+        lambda a, c: sql_compare("<", a, c),
+    )
+    condition = b.BoundCall("AND", [eq, lt], BOOLEAN, sql_and)
+    keys, residual = executor._extract_equi_keys(condition, 2)
+    assert keys == [(0, 0)]
+    assert len(residual) == 1
+
+
+def test_same_side_equality_is_residual_not_key():
+    from repro.semantics import bound as b
+    from repro.types import BOOLEAN, INTEGER, sql_compare
+
+    eq = b.BoundCall(
+        "=",
+        [b.BoundColumn(0, INTEGER), b.BoundColumn(1, INTEGER)],
+        BOOLEAN,
+        lambda a, c: sql_compare("=", a, c),
+    )
+    keys, residual = executor._extract_equi_keys(eq, 2)
+    assert keys == []
+    assert residual == [eq]
+
+
+def test_inner_join_null_keys_never_match(jdb):
+    rows = jdb.execute("SELECT l.lv, r.rv FROM l JOIN r ON l.k = r.k").rows
+    assert (30, 300) not in rows
+    assert all(lv != 30 for lv, _ in rows)
+
+
+def test_multi_key_hash_join(jdb):
+    rows = jdb.execute(
+        "SELECT lv, rv FROM l JOIN r ON l.k = r.k AND l.k2 = r.k2 ORDER BY lv, rv"
+    ).rows
+    assert rows == [(10, 100), (10, 101)]
+
+
+def test_residual_predicate_applied(jdb):
+    rows = jdb.execute(
+        "SELECT lv, rv FROM l JOIN r ON l.k = r.k AND rv > 100 ORDER BY lv, rv"
+    ).rows
+    assert rows == [(10, 101), (11, 101), (20, 200)]
+
+
+def test_left_join_padding_with_hash_path(jdb):
+    rows = jdb.execute(
+        """SELECT lv, rv FROM l LEFT JOIN r ON l.k = r.k AND l.k2 = r.k2
+           ORDER BY lv, rv NULLS LAST"""
+    ).rows
+    assert (11, None) in rows  # (1,'b') has no partner
+    assert (30, None) in rows  # NULL key never joins
+
+
+def test_full_join_hash_path(jdb):
+    rows = jdb.execute(
+        """SELECT lv, rv FROM l FULL JOIN r ON l.k = r.k AND l.k2 = r.k2
+           ORDER BY lv NULLS LAST, rv NULLS LAST"""
+    ).rows
+    assert (None, 200) in rows  # unmatched right
+    assert (None, 300) in rows  # NULL-key right row padded
+
+
+def test_reversed_equality_direction(jdb):
+    forward = jdb.execute("SELECT lv, rv FROM l JOIN r ON l.k = r.k ORDER BY lv, rv").rows
+    reverse = jdb.execute("SELECT lv, rv FROM l JOIN r ON r.k = l.k ORDER BY lv, rv").rows
+    assert forward == reverse
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 3) | st.none(), st.integers(0, 9)),
+    max_size=15,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows_strategy, rows_strategy, st.sampled_from(["JOIN", "LEFT JOIN", "FULL JOIN"]))
+def test_hash_join_matches_sqlite(left, right, kind):
+    import sqlite3
+
+    db = Database()
+    db.create_table_from_rows("l", [("k", "INTEGER"), ("v", "INTEGER")], left)
+    db.create_table_from_rows("r", [("k", "INTEGER"), ("w", "INTEGER")], right)
+    sql = f"SELECT l.v, r.w FROM l {kind} r ON l.k = r.k"
+    mine = db.execute(sql).rows
+
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE l (k INTEGER, v INTEGER)")
+    connection.execute("CREATE TABLE r (k INTEGER, w INTEGER)")
+    connection.executemany("INSERT INTO l VALUES (?, ?)", left)
+    connection.executemany("INSERT INTO r VALUES (?, ?)", right)
+    theirs = connection.execute(sql).fetchall()
+
+    def canonical(rows):
+        return sorted(rows, key=lambda row: tuple((v is None, v or 0) for v in row))
+
+    assert canonical(mine) == canonical(theirs)

@@ -1,0 +1,212 @@
+"""Integration tests for awkward query shapes: deep nesting, CTE reuse,
+mixed features, and measure/engine interactions that cross module borders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+
+def test_cte_referenced_twice(paper_db):
+    value = paper_db.execute(
+        """WITH totals AS (
+             SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName)
+           SELECT (SELECT MAX(r) FROM totals) - (SELECT MIN(r) FROM totals)"""
+    ).scalar()
+    assert value == 17 - 3
+
+
+def test_nested_with_shadowing(paper_db):
+    value = paper_db.execute(
+        """WITH t AS (SELECT 1 AS x)
+           SELECT * FROM (WITH t AS (SELECT 2 AS x) SELECT x FROM t)"""
+    ).scalar()
+    assert value == 2
+
+
+def test_five_level_nested_subqueries(db):
+    db.execute("CREATE TABLE n (x INTEGER)")
+    db.execute("INSERT INTO n VALUES (1), (2), (3)")
+    value = db.execute(
+        """SELECT SUM(x) FROM (SELECT x FROM (SELECT x FROM
+           (SELECT x FROM (SELECT x FROM n WHERE x > 0) WHERE x > 0)
+           WHERE x > 0) WHERE x > 0)"""
+    ).scalar()
+    assert value == 6
+
+
+def test_three_way_join_with_using_chain(paper_db):
+    paper_db.execute("CREATE TABLE Regions (custName VARCHAR, region VARCHAR)")
+    paper_db.execute(
+        "INSERT INTO Regions VALUES ('Alice', 'north'), ('Bob', 'south'), ('Celia', 'north')"
+    )
+    rows = paper_db.execute(
+        """SELECT region, SUM(revenue) AS r
+           FROM Orders JOIN Customers USING (custName)
+                       JOIN Regions USING (custName)
+           GROUP BY region ORDER BY region"""
+    ).rows
+    assert rows == [("north", 16), ("south", 9)]
+
+
+def test_union_of_aggregates_with_order(paper_db):
+    rows = paper_db.execute(
+        """SELECT 'revenue' AS metric, SUM(revenue) AS v FROM Orders
+           UNION ALL
+           SELECT 'cost', SUM(cost) FROM Orders
+           ORDER BY v DESC"""
+    ).rows
+    assert rows == [("revenue", 25), ("cost", 12)]
+
+
+def test_exists_with_measure_view(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    rows = paper_db.execute(
+        """SELECT custName FROM Customers AS c
+           WHERE EXISTS (SELECT 1 FROM Orders AS o
+                         WHERE o.custName = c.custName AND o.revenue > 5)
+           ORDER BY custName"""
+    ).rows
+    assert rows == [("Alice",)]
+
+
+def test_measure_view_with_order_and_limit(paper_db):
+    """ORDER/LIMIT in the defining query shape the relation's rows but not
+    the measure's source."""
+    paper_db.execute(
+        """CREATE VIEW topOrders AS
+           SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders
+           ORDER BY prodName LIMIT 2"""
+    )
+    result = paper_db.execute("SELECT prodName, r FROM topOrders GROUP BY prodName")
+    # Only the first 2 rows of the relation survive, but r still sees all
+    # of Orders for its context.
+    assert len(result.rows) <= 2
+    by_name = dict(result.rows)
+    if "Happy" in by_name:
+        assert by_name["Happy"] == 17
+
+
+def test_case_over_measures(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo2 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    rows = paper_db.execute(
+        """SELECT prodName,
+                  CASE WHEN AGGREGATE(r) > 10 THEN 'big' ELSE 'small' END AS size
+           FROM eo2 GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", "small"), ("Happy", "big"), ("Whizz", "small")]
+
+
+def test_measure_in_in_list(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo3 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    rows = paper_db.execute(
+        """SELECT prodName FROM eo3 GROUP BY prodName
+           HAVING AGGREGATE(r) IN (5, 17) ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme",), ("Happy",)]
+
+
+def test_grouping_label_with_measure_levels(paper_db):
+    """Custom roll-up labels via GROUPING combined with measure values at
+    each level (paper section 5.3's 'different formula per level' pattern)."""
+    paper_db.execute(
+        "CREATE VIEW eo4 AS SELECT prodName, custName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    rows = paper_db.execute(
+        """SELECT CASE WHEN GROUPING(prodName) = 1 THEN 'ALL PRODUCTS'
+                       ELSE prodName END AS label,
+                  AGGREGATE(r) AS revenue
+           FROM eo4 GROUP BY ROLLUP(prodName)
+           ORDER BY GROUPING(prodName), label"""
+    ).rows
+    assert rows == [
+        ("Acme", 5),
+        ("Happy", 17),
+        ("Whizz", 3),
+        ("ALL PRODUCTS", 25),
+    ]
+
+
+def test_window_over_measure_results(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo5 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    rows = paper_db.execute(
+        """SELECT prodName, AGGREGATE(r) AS rev,
+                  RANK() OVER (ORDER BY AGGREGATE(r) DESC) AS rnk
+           FROM eo5 GROUP BY prodName ORDER BY rnk"""
+    ).rows
+    assert rows == [("Happy", 17, 1), ("Acme", 5, 2), ("Whizz", 3, 3)]
+
+
+def test_values_in_from_with_alias(db):
+    rows = db.execute(
+        """SELECT t.col1 * 2 FROM (VALUES (1), (2)) AS t ORDER BY 1"""
+    ).rows
+    assert rows == [(2,), (4,)]
+
+
+def test_mixed_rollup_and_plain_keys_with_measure(paper_db):
+    paper_db.execute(
+        """CREATE VIEW eo6 AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE r FROM Orders"""
+    )
+    rows = paper_db.execute(
+        """SELECT custName, prodName, r FROM eo6
+           GROUP BY custName, ROLLUP(prodName)
+           ORDER BY custName, prodName NULLS LAST"""
+    ).rows
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    # Rollup row per customer: prodName term suppressed, custName kept.
+    assert by_key[("Alice", None)] == 13
+    assert by_key[("Bob", None)] == 9
+    assert by_key[("Alice", "Happy")] == 13
+
+
+def test_insert_select_with_measures(paper_db):
+    """Materializing measure results into a base table."""
+    paper_db.execute(
+        "CREATE VIEW eo7 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    paper_db.execute("CREATE TABLE summary (prodName VARCHAR, r INTEGER)")
+    count = paper_db.execute(
+        "INSERT INTO summary SELECT prodName, AGGREGATE(r) FROM eo7 GROUP BY prodName"
+    ).rowcount
+    assert count == 3
+    assert paper_db.execute("SELECT SUM(r) FROM summary").scalar() == 25
+
+
+def test_update_from_measure_subquery(paper_db):
+    paper_db.execute("CREATE TABLE targets (prodName VARCHAR, target INTEGER)")
+    paper_db.execute(
+        "INSERT INTO targets VALUES ('Happy', 0), ('Acme', 0), ('Whizz', 0)"
+    )
+    paper_db.execute(
+        """UPDATE targets SET target =
+             (SELECT SUM(revenue) FROM Orders
+              WHERE Orders.prodName = targets.prodName) * 2"""
+    )
+    assert paper_db.execute(
+        "SELECT target FROM targets WHERE prodName = 'Happy'"
+    ).scalar() == 34
+
+
+def test_long_conjunction_chain(db):
+    db.execute("CREATE TABLE c (x INTEGER)")
+    db.execute("INSERT INTO c VALUES (5)")
+    conditions = " AND ".join(f"x <> {i}" for i in range(30) if i != 5)
+    assert db.execute(f"SELECT COUNT(*) FROM c WHERE {conditions}").scalar() == 1
+
+
+def test_wide_projection(db):
+    items = ", ".join(f"{i} AS c{i}" for i in range(60))
+    result = db.execute(f"SELECT {items}")
+    assert len(result.columns) == 60
+    assert result.rows[0][59] == 59

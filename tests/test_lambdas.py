@@ -1,0 +1,87 @@
+"""The section-4 lambda exposition renderer (paper Listing 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, UnsupportedError
+from repro.core.lambdas import explain_lambda_semantics
+
+LISTING10 = """
+SELECT prodName, YEAR(orderDate) AS orderYear,
+       sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue,
+             YEAR(orderDate) AS orderYear FROM Orders)
+GROUP BY prodName, YEAR(orderDate)
+"""
+
+
+def test_listing11_structure(paper_db):
+    text = explain_lambda_semantics(paper_db, LISTING10)
+    # The three parts of paper Listing 11:
+    assert "CREATE TYPE OrdersRow AS ROW" in text
+    assert "prodName VARCHAR" in text and "orderDate DATE" in text
+    assert (
+        "CREATE FUNCTION computeSumRevenue(rowPredicate FUNCTION(OrdersRow)"
+        in text
+    )
+    assert "APPLY(rowPredicate, o)" in text
+    # Two uses of the measure -> two lambda calls, one with the year shift.
+    assert text.count("computeSumRevenue(r ->") == 2
+    assert "YEAR(t1.orderDate) - 1" in text
+
+
+def test_lambda_predicates_reference_source_and_outer(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    text = explain_lambda_semantics(
+        paper_db,
+        "SELECT prodName, AGGREGATE(r) FROM eo GROUP BY prodName",
+    )
+    assert "r.prodName IS NOT DISTINCT FROM eo.prodName" in text
+
+
+def test_lambda_includes_baked_where(paper_db):
+    paper_db.execute(
+        """CREATE VIEW alice AS
+           SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders
+           WHERE custName = 'Alice'"""
+    )
+    text = explain_lambda_semantics(
+        paper_db, "SELECT prodName, AGGREGATE(r) FROM alice GROUP BY prodName"
+    )
+    assert "o.custName = 'Alice'" in text  # baked into the auxiliary function
+
+
+def test_lambda_shared_function_for_repeated_measure(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo2 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    text = explain_lambda_semantics(
+        paper_db,
+        """SELECT prodName, AGGREGATE(r), r AT (ALL) FROM eo2
+           GROUP BY prodName""",
+    )
+    assert text.count("CREATE FUNCTION computeR(") == 1
+    assert text.count("computeR(r ->") == 2
+
+
+def test_lambda_all_context_is_true(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo3 AS SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders"
+    )
+    text = explain_lambda_semantics(
+        paper_db, "SELECT prodName, r AT (ALL) FROM eo3 GROUP BY prodName"
+    )
+    assert "computeR(r -> TRUE)" in text
+
+
+def test_query_without_measures_rejected(paper_db):
+    with pytest.raises(UnsupportedError):
+        explain_lambda_semantics(paper_db, "SELECT COUNT(*) FROM Orders")
+
+
+def test_non_query_rejected(paper_db):
+    with pytest.raises(UnsupportedError):
+        explain_lambda_semantics(paper_db, "CREATE TABLE z (a INTEGER)")

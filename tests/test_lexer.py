@@ -1,0 +1,146 @@
+"""Tokenizer unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(sql: str) -> list[str]:
+    return [t.type.name for t in tokenize(sql)[:-1]]
+
+
+def texts(sql: str) -> list[str]:
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_keywords_are_case_insensitive():
+    assert texts("select SELECT SeLeCt") == ["SELECT", "SELECT", "SELECT"]
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("prodName CustAge")
+    assert tokens[0].value == "prodName"
+    assert tokens[1].value == "CustAge"
+
+
+def test_integer_literal():
+    token = tokenize("42")[0]
+    assert token.type is TokenType.NUMBER
+    assert token.value == 42
+    assert isinstance(token.value, int)
+
+
+def test_decimal_literal():
+    token = tokenize("3.25")[0]
+    assert token.value == 3.25
+    assert isinstance(token.value, float)
+
+
+def test_exponent_literal():
+    assert tokenize("1e3")[0].value == 1000.0
+    assert tokenize("2.5E-2")[0].value == 0.025
+    assert tokenize("7e+1")[0].value == 70.0
+
+
+def test_number_followed_by_dot_method_is_not_float():
+    # "1." without digits stays an integer followed by an operator.
+    tokens = tokenize("1.x")
+    assert tokens[0].value == 1
+    assert tokens[1].text == "."
+
+
+def test_string_literal():
+    token = tokenize("'hello'")[0]
+    assert token.type is TokenType.STRING
+    assert token.value == "hello"
+
+
+def test_string_with_escaped_quote():
+    assert tokenize("'it''s'")[0].value == "it's"
+
+
+def test_empty_string_literal():
+    assert tokenize("''")[0].value == ""
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+
+
+def test_double_quoted_identifier():
+    token = tokenize('"Weird Name"')[0]
+    assert token.type is TokenType.IDENT
+    assert token.value == "Weird Name"
+
+
+def test_backquoted_identifier():
+    assert tokenize("`from`")[0].value == "from"
+
+
+def test_unterminated_quoted_identifier_raises():
+    with pytest.raises(LexerError):
+        tokenize('"oops')
+
+
+def test_line_comment_is_skipped():
+    assert texts("SELECT -- comment here\n1") == ["SELECT", "1"]
+
+
+def test_block_comment_is_skipped():
+    assert texts("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT /* oops")
+
+
+def test_multichar_operators_lex_greedily():
+    assert texts("<> <= >= != || ->") == ["<>", "<=", ">=", "!=", "||", "->"]
+
+
+def test_single_char_operators():
+    assert texts("( ) , . ; + - * / % < > =") == list("(),.;+-*/%<>=")
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexerError) as exc:
+        tokenize("SELECT @")
+    assert exc.value.line == 1
+    assert exc.value.column == 8
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("SELECT\n  x")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_measure_keywords_recognized():
+    assert kinds("MEASURE AGGREGATE AT VISIBLE CURRENT") == ["KEYWORD"] * 5
+
+
+def test_is_keyword_helper():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("SELECT")
+    assert token.is_keyword("SELECT", "FROM")
+    assert not token.is_keyword("FROM")
+
+
+def test_identifier_with_underscore_and_dollar():
+    assert tokenize("_foo$bar")[0].value == "_foo$bar"
+
+
+def test_adjacent_tokens_without_spaces():
+    assert texts("a+b*(c)") == ["a", "+", "b", "*", "(", "c", ")"]

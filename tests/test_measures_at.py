@@ -1,0 +1,263 @@
+"""The AT operator and its modifiers (paper section 3.5, Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, MeasureError
+
+
+@pytest.fixture
+def mdb(paper_db: Database) -> Database:
+    paper_db.execute(
+        """CREATE VIEW mv AS
+           SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                  SUM(revenue) AS MEASURE r,
+                  COUNT(*) AS MEASURE n
+           FROM Orders"""
+    )
+    return paper_db
+
+
+def test_all_clears_everything_including_predicates(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, r AT (WHERE orderYear = 2023) AT (ALL) AS v
+           FROM mv GROUP BY prodName"""
+    ).rows
+    # Outer AT applies first, so WHERE then replaces the context... and the
+    # outer ALL runs before the inner WHERE: final context is year 2023.
+    assert all(r[1] == 14 for r in rows)
+
+
+def test_all_then_where_ordering(mdb):
+    # Single AT list: ALL first, then WHERE replaces -> year filter.
+    rows = mdb.execute(
+        "SELECT prodName, r AT (ALL WHERE orderYear = 2023) AS v FROM mv GROUP BY prodName"
+    ).rows
+    assert all(r[1] == 14 for r in rows)
+    # Reversed: WHERE replaces, then ALL clears -> grand total.
+    rows = mdb.execute(
+        "SELECT prodName, r AT (WHERE orderYear = 2023 ALL) AS v FROM mv GROUP BY prodName"
+    ).rows
+    assert all(r[1] == 25 for r in rows)
+
+
+def test_all_named_dim_keeps_other_terms(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, orderYear, r AT (ALL orderYear) AS v
+           FROM mv GROUP BY prodName, orderYear ORDER BY prodName, orderYear"""
+    ).rows
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    assert by_key[("Happy", 2022)] == 17
+    assert by_key[("Happy", 2024)] == 17
+    assert by_key[("Acme", 2023)] == 5
+
+
+def test_all_multiple_dims(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, custName, r AT (ALL prodName, custName) AS v
+           FROM mv GROUP BY prodName, custName"""
+    ).rows
+    assert all(r[2] == 25 for r in rows)
+
+
+def test_all_unknown_dim_rejected(mdb):
+    from repro import BindError
+
+    with pytest.raises(BindError):  # unknown name (MeasureError if non-dim)
+        mdb.execute("SELECT r AT (ALL nosuch) FROM mv GROUP BY prodName")
+
+
+def test_set_constant(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, r AT (SET custName = 'Bob') AS bob
+           FROM mv GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    # Context: prodName = current AND custName = 'Bob'.
+    assert rows == [("Acme", 5), ("Happy", 4), ("Whizz", None)]
+
+
+def test_set_replaces_existing_term(mdb):
+    rows = mdb.execute(
+        """SELECT custName, r AT (SET custName = 'Bob') AS v
+           FROM mv GROUP BY custName ORDER BY custName"""
+    ).rows
+    assert all(r[1] == 9 for r in rows)  # Bob's total regardless of group
+
+
+def test_current_of_unconstrained_dim_is_null(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, r AT (SET orderYear = CURRENT orderYear) AS v
+           FROM mv GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    # orderYear is not constrained by this GROUP BY: CURRENT orderYear is
+    # NULL, and no order has a NULL year.
+    assert all(r[1] is None for r in rows)
+
+
+def test_current_after_set_sees_updated_value(mdb):
+    rows = mdb.execute(
+        """SELECT orderYear,
+                  r AT (SET orderYear = 2023 SET orderYear = CURRENT orderYear + 1) AS v
+           FROM mv GROUP BY orderYear ORDER BY orderYear"""
+    ).rows
+    # First SET pins 2023; second SET's CURRENT reads 2023 -> 2024 (value 7).
+    assert all(r[1] == 7 for r in rows)
+
+
+def test_visible_includes_join_and_where(mdb):
+    rows = mdb.execute(
+        """SELECT prodName, r AT (VISIBLE) AS viz, r
+           FROM mv WHERE orderYear >= 2023 AND custName = 'Alice'
+           GROUP BY prodName"""
+    ).rows
+    assert rows == [("Happy", 13, 17)]
+
+
+def test_visible_noop_without_filters(mdb):
+    rows = mdb.execute(
+        "SELECT prodName, r AT (VISIBLE) AS viz, r FROM mv GROUP BY prodName"
+    ).rows
+    assert all(r[1] == r[2] for r in rows)
+
+
+def test_where_with_correlation_to_group(mdb):
+    rows = mdb.execute(
+        """SELECT custName, r AT (WHERE custName = mv.custName AND orderYear = 2023) AS v
+           FROM mv GROUP BY custName ORDER BY custName"""
+    ).rows
+    assert rows == [("Alice", 6), ("Bob", 5), ("Celia", 3)]
+
+
+def test_where_references_removed_rows(mdb):
+    value = mdb.execute(
+        """SELECT r AT (WHERE custName = 'Bob') AS v
+           FROM mv WHERE custName <> 'Bob' GROUP BY prodName LIMIT 1"""
+    ).scalar()
+    assert value == 9  # Bob's orders, though removed by the query WHERE
+
+
+def test_at_in_row_grain_select(mdb):
+    """Row-grain context pins every dimension; ALL releases the named ones."""
+    rows = mdb.execute(
+        """SELECT prodName, custName, r AT (ALL custName, orderYear) AS prodTotal
+           FROM mv ORDER BY prodName, custName"""
+    ).rows
+    by_prod = {(r[0]): r[2] for r in rows}
+    assert by_prod["Happy"] == 17
+    assert by_prod["Acme"] == 5
+
+
+def test_at_row_grain_partial_release(mdb):
+    """ALL of one dimension keeps the others pinned to the current row."""
+    rows = mdb.execute(
+        """SELECT prodName, custName, orderYear, r AT (ALL custName) AS v
+           FROM mv ORDER BY prodName, custName, orderYear"""
+    ).rows
+    by_key = {(r[0], r[2]): r[3] for r in rows}
+    assert by_key[("Happy", 2023)] == 6
+    assert by_key[("Happy", 2022)] == 4
+    assert by_key[("Acme", 2023)] == 5
+
+
+def test_multiple_measures_different_contexts_in_one_query(mdb):
+    row = mdb.execute(
+        """SELECT prodName,
+                  r AS mine,
+                  r AT (ALL) AS total,
+                  r / r AT (ALL) AS share,
+                  n AT (ALL) AS orderCount
+           FROM mv WHERE prodName = 'Happy' GROUP BY prodName"""
+    ).rows[0]
+    assert row == ("Happy", 17, 25, 17 / 25, 5)
+
+
+def test_set_with_expression_value(mdb):
+    rows = mdb.execute(
+        """SELECT orderYear, r AT (SET orderYear = 2020 + 3) AS y23
+           FROM mv GROUP BY orderYear"""
+    ).rows
+    assert all(r[1] == 14 for r in rows)
+
+
+def test_set_to_null_matches_nothing(mdb):
+    rows = mdb.execute(
+        "SELECT prodName, r AT (SET custName = NULL) AS v FROM mv GROUP BY prodName"
+    ).rows
+    assert all(r[1] is None for r in rows)
+
+
+def test_adhoc_dim_all(mdb):
+    """ALL on an ad hoc dimension removes the matching group term."""
+    rows = mdb.execute(
+        """SELECT YEAR(orderDate) AS y, sr AT (ALL YEAR(orderDate)) AS v
+           FROM (SELECT *, SUM(revenue) AS MEASURE sr FROM Orders)
+           GROUP BY YEAR(orderDate) ORDER BY y"""
+    ).rows
+    assert all(r[1] == 25 for r in rows)
+
+
+def test_at_chain_equals_flat_list(mdb):
+    flat = mdb.execute(
+        """SELECT prodName, r AT (SET prodName = 'Happy' SET custName = 'Bob') AS v
+           FROM mv GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    chained = mdb.execute(
+        """SELECT prodName,
+                  (r AT (SET custName = 'Bob')) AT (SET prodName = 'Happy') AS v
+           FROM mv GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert flat == chained
+    assert all(r[1] == 4 for r in flat)  # Happy + Bob
+
+
+def test_current_outside_set_rejected(mdb):
+    with pytest.raises(MeasureError):
+        mdb.execute("SELECT CURRENT prodName FROM mv GROUP BY prodName")
+
+
+def test_where_modifier_cannot_reference_measures(mdb):
+    with pytest.raises(MeasureError):
+        mdb.execute(
+            "SELECT r AT (WHERE n > 1) FROM mv GROUP BY prodName"
+        )
+
+
+def test_where_equality_uses_strict_equals_for_nulls(mdb):
+    """AT (WHERE custName = NULL) matches nothing: '=' is not null-safe."""
+    rows = mdb.execute(
+        "SELECT prodName, r AT (WHERE custName = NULL) AS v FROM mv GROUP BY prodName"
+    ).rows
+    assert all(r[1] is None for r in rows)
+
+
+def test_all_does_not_remove_where_equality_terms(mdb):
+    """ALL dim removes *dimension* terms; WHERE-created filters are part of
+    the predicate and survive (per the paper: the measure value depends on
+    the predicate's rows, not on how the predicate was spelled)."""
+    rows = mdb.execute(
+        """SELECT prodName, r AT (WHERE orderYear = 2023 ALL orderYear) AS v
+           FROM mv GROUP BY prodName"""
+    ).rows
+    assert all(r[1] == 14 for r in rows)  # the year filter survives ALL
+
+
+def test_set_does_not_replace_where_equality_terms(mdb):
+    """SET adds its own term; a WHERE-created equality on the same dimension
+    also remains, so conflicting values yield the empty context."""
+    rows = mdb.execute(
+        """SELECT prodName, r AT (WHERE orderYear = 2023 SET orderYear = 2024) AS v
+           FROM mv GROUP BY prodName"""
+    ).rows
+    assert all(r[1] is None for r in rows)
+
+
+def test_where_equality_decomposition_hits_dimension_index(mdb):
+    """The decomposed equality is served by the source index: evaluating per
+    group costs one computation per distinct correlated value."""
+    mdb.execute(
+        """SELECT prodName, r AT (WHERE prodName = mv.prodName) AS v
+           FROM mv GROUP BY prodName"""
+    )
+    stats = mdb.last_stats
+    assert stats.measure_evaluations - stats.measure_cache_hits == 3

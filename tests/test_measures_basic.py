@@ -1,0 +1,251 @@
+"""Measure fundamentals: definition, AGGREGATE/EVAL, closure, grain, naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BindError, Database, MeasureError
+from repro.types import MeasureType
+
+
+def test_defining_view_returns_same_row_count_as_base(orders_db):
+    """The EnhancedOrders view has no GROUP BY, so it has Orders' grain."""
+    assert orders_db.execute("SELECT COUNT(*) FROM EnhancedOrders").scalar() == 5
+
+
+def test_measure_column_type_is_measure(orders_db):
+    from repro.semantics.binder import Binder
+    from repro.sql import parse_query
+
+    binder = Binder(orders_db.catalog)
+    bound = binder.bind_query_as_relation(
+        parse_query("SELECT * FROM EnhancedOrders"), None
+    )
+    by_name = {c.name: c for c in bound.columns}
+    assert isinstance(by_name["profitMargin"].dtype, MeasureType)
+    assert not by_name["prodName"].dtype.is_measure
+
+
+def test_aggregate_at_coarser_grain(orders_db):
+    value = orders_db.execute(
+        "SELECT AGGREGATE(profitMargin) FROM EnhancedOrders"
+    ).scalar()
+    assert value == pytest.approx((25 - 12) / 25)
+
+
+def test_eval_is_explicit_spelling(orders_db):
+    rows1 = orders_db.execute(
+        "SELECT prodName, EVAL(profitMargin AT (VISIBLE)) FROM EnhancedOrders GROUP BY prodName ORDER BY 1"
+    ).rows
+    rows2 = orders_db.execute(
+        "SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName ORDER BY 1"
+    ).rows
+    assert rows1 == rows2
+
+
+def test_measure_usable_without_access_to_hidden_columns(orders_db):
+    """EnhancedOrders does not project revenue/cost; the measure still
+    computes over them (abstraction, section 3.2)."""
+    with pytest.raises(BindError):
+        orders_db.execute("SELECT revenue FROM EnhancedOrders")
+    value = orders_db.execute(
+        "SELECT AGGREGATE(profitMargin) FROM EnhancedOrders WHERE prodName = 'Acme'"
+    ).scalar()
+    assert value == pytest.approx(0.6)
+
+
+def test_bare_measure_in_group_query_ignores_where(paper_db):
+    rows = paper_db.execute(
+        """SELECT prodName, r FROM
+           (SELECT *, SUM(revenue) AS MEASURE r FROM Orders)
+           WHERE custName = 'Alice' GROUP BY prodName"""
+    ).rows
+    assert rows == [("Happy", 17)]  # 17, not Alice's 13
+
+
+def test_row_grain_evaluation_at_top_level(paper_db):
+    """Selecting a measure from a non-aggregate top-level query evaluates it
+    at row grain (every dimension pinned)."""
+    rows = paper_db.execute(
+        """SELECT prodName, custName, r FROM
+           (SELECT prodName, custName, SUM(revenue) AS MEASURE r FROM Orders)
+           ORDER BY prodName, custName"""
+    ).rows
+    # Happy/Alice has two orders (6 + 7): both rows show the pinned total 13.
+    assert rows == [
+        ("Acme", "Bob", 5),
+        ("Happy", "Alice", 13),
+        ("Happy", "Alice", 13),
+        ("Happy", "Bob", 4),
+        ("Whizz", "Celia", 3),
+    ]
+
+
+def test_select_star_includes_measures_at_top_level(orders_db):
+    result = orders_db.execute("SELECT * FROM EnhancedOrders LIMIT 1")
+    assert result.column_names == ["orderDate", "prodName", "profitMargin"]
+
+
+def test_measure_in_where_clause(paper_db):
+    rows = paper_db.execute(
+        """SELECT prodName, custName FROM
+           (SELECT prodName, custName, SUM(revenue) AS MEASURE r FROM Orders)
+           WHERE r > 5 ORDER BY prodName, custName"""
+    ).rows
+    assert rows == [("Happy", "Alice"), ("Happy", "Alice")]
+
+
+def test_measure_in_having(orders_db):
+    rows = orders_db.execute(
+        """SELECT prodName FROM EnhancedOrders
+           GROUP BY prodName HAVING AGGREGATE(profitMargin) > 0.5
+           ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme",), ("Whizz",)]
+
+
+def test_measure_in_order_by(orders_db):
+    rows = orders_db.execute(
+        """SELECT prodName FROM EnhancedOrders GROUP BY prodName
+           ORDER BY AGGREGATE(profitMargin) DESC"""
+    ).rows
+    assert [r[0] for r in rows] == ["Whizz", "Acme", "Happy"]
+
+
+def test_defining_where_is_baked_in(paper_db):
+    """The WHERE in a measure-defining query cannot be subverted (3.5)."""
+    paper_db.execute(
+        """CREATE VIEW aliceOrders AS
+           SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders
+           WHERE custName = 'Alice'"""
+    )
+    total = paper_db.execute("SELECT r AT (ALL) FROM aliceOrders GROUP BY prodName").rows
+    assert all(r == (13,) for r in total)  # never sees Bob's or Celia's orders
+
+
+def test_sibling_measure_reference(paper_db):
+    rows = paper_db.execute(
+        """SELECT prodName, AGGREGATE(margin) FROM
+           (SELECT prodName,
+                   SUM(revenue) AS MEASURE rev,
+                   SUM(cost) AS MEASURE cst,
+                   (rev - cst) / rev AS MEASURE margin
+            FROM Orders)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert [(r[0], round(r[1], 2)) for r in rows] == [
+        ("Acme", 0.60),
+        ("Happy", 0.47),
+        ("Whizz", 0.67),
+    ]
+
+
+def test_recursive_measure_rejected(paper_db):
+    with pytest.raises(MeasureError, match="recursive"):
+        paper_db.execute(
+            """SELECT AGGREGATE(a) FROM
+               (SELECT prodName, b + 0 AS MEASURE a, a + 0 AS MEASURE b
+                FROM Orders)"""
+        )
+
+
+def test_duplicate_measure_name_rejected(paper_db):
+    with pytest.raises(MeasureError, match="duplicate"):
+        paper_db.execute(
+            """SELECT 1 FROM (SELECT prodName, SUM(revenue) AS MEASURE m,
+                                     SUM(cost) AS MEASURE m FROM Orders)"""
+        )
+
+
+def test_group_by_measure_rejected(paper_db):
+    with pytest.raises(MeasureError, match="GROUP BY a measure"):
+        paper_db.execute(
+            """SELECT 1 FROM (SELECT prodName, SUM(revenue) AS MEASURE m FROM Orders)
+               GROUP BY m"""
+        )
+
+
+def test_measure_defined_in_grouped_query_rejected(paper_db):
+    from repro import UnsupportedError
+
+    with pytest.raises(UnsupportedError):
+        paper_db.execute(
+            """SELECT prodName, SUM(revenue) AS MEASURE m FROM Orders
+               GROUP BY prodName"""
+        )
+
+
+def test_aggregate_of_non_measure_rejected(paper_db):
+    with pytest.raises(MeasureError):
+        paper_db.execute("SELECT AGGREGATE(revenue) FROM Orders")
+
+
+def test_at_on_non_measure_rejected(paper_db):
+    with pytest.raises(MeasureError):
+        paper_db.execute("SELECT revenue AT (ALL) FROM Orders")
+
+
+def test_aggregate_makes_query_aggregate(orders_db):
+    """AGGREGATE converts any query into an aggregate query (section 3.3)."""
+    result = orders_db.execute("SELECT AGGREGATE(profitMargin) FROM EnhancedOrders")
+    assert len(result.rows) == 1
+
+
+def test_unaliased_aggregate_inherits_measure_name(orders_db):
+    result = orders_db.execute(
+        "SELECT prodName, AGGREGATE(profitMargin) FROM EnhancedOrders GROUP BY prodName"
+    )
+    assert result.column_names == ["prodName", "profitMargin"]
+
+
+def test_view_rename_columns_applies_to_measures(paper_db):
+    paper_db.execute(
+        """CREATE VIEW renamed (product, pm) AS
+           SELECT prodName, (SUM(revenue) - SUM(cost)) / SUM(revenue)
+             AS MEASURE profitMargin
+           FROM Orders"""
+    )
+    rows = paper_db.execute(
+        "SELECT product, AGGREGATE(pm) FROM renamed GROUP BY product ORDER BY product"
+    ).rows
+    assert [r[0] for r in rows] == ["Acme", "Happy", "Whizz"]
+
+
+def test_measure_view_over_view(orders_db):
+    """Views with measures compose with plain views beneath them."""
+    orders_db.execute("CREATE VIEW bigOrders AS SELECT * FROM Orders WHERE revenue >= 4")
+    orders_db.execute(
+        """CREATE VIEW bigEnhanced AS
+           SELECT prodName, SUM(revenue) AS MEASURE r FROM bigOrders"""
+    )
+    rows = orders_db.execute(
+        "SELECT prodName, AGGREGATE(r) FROM bigEnhanced GROUP BY prodName ORDER BY 1"
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 17)]  # Whizz(3) filtered out
+
+
+def test_count_star_as_measure(paper_db):
+    rows = paper_db.execute(
+        """SELECT prodName, AGGREGATE(n) FROM
+           (SELECT prodName, COUNT(*) AS MEASURE n FROM Orders)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", 1), ("Happy", 3), ("Whizz", 1)]
+
+
+def test_semi_additive_last_value_measure(db):
+    """Inventory-style semi-additive measure using LAST_VALUE (section 5.3)."""
+    db.execute("CREATE TABLE inv (warehouse VARCHAR, day DATE, onHand INTEGER)")
+    db.execute(
+        """INSERT INTO inv VALUES
+           ('w1', DATE '2024-01-01', 10), ('w1', DATE '2024-01-02', 12),
+           ('w2', DATE '2024-01-01', 5), ('w2', DATE '2024-01-02', 7)"""
+    )
+    rows = db.execute(
+        """SELECT warehouse, AGGREGATE(latest) FROM
+           (SELECT warehouse, day,
+                   LAST_VALUE(onHand ORDER BY day) AS MEASURE latest
+            FROM inv)
+           GROUP BY warehouse ORDER BY warehouse"""
+    ).rows
+    assert rows == [("w1", 12), ("w2", 7)]

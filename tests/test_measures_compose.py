@@ -1,0 +1,176 @@
+"""Composability (paper section 5.4): re-export through queries, measures
+over measures, nesting depth, and closure of the query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, UnsupportedError
+
+
+@pytest.fixture
+def base(paper_db: Database) -> Database:
+    paper_db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                  SUM(revenue) AS MEASURE rev,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+           FROM Orders"""
+    )
+    return paper_db
+
+
+def test_reexport_through_projection(base):
+    """SELECTing a measure column from a non-aggregate query re-exports it."""
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(rev) FROM
+           (SELECT prodName, rev FROM eo)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 17), ("Whizz", 3)]
+
+
+def test_reexport_narrows_dimensionality(base):
+    """After projecting only prodName, custName is no longer a dimension;
+    grouping by it in an outer query is simply impossible (closure)."""
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(rev) AS r FROM
+           (SELECT prodName, rev FROM eo)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert [r[0] for r in rows] == ["Acme", "Happy", "Whizz"]
+
+
+def test_reexport_bakes_where(base):
+    """A re-exporting query's WHERE becomes part of the new measure."""
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(rev) AS r, rev AT (ALL) AS total FROM
+           (SELECT prodName, rev FROM eo WHERE custName = 'Alice')
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    # Even AT (ALL) cannot reach Bob's and Celia's orders any more.
+    assert rows == [("Happy", 13, 13)]
+
+
+def test_reexport_through_cte(base):
+    rows = base.execute(
+        """WITH narrowed AS (SELECT prodName, margin FROM eo)
+           SELECT prodName, AGGREGATE(margin) FROM narrowed
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert [(r[0], round(r[1], 2)) for r in rows] == [
+        ("Acme", 0.60),
+        ("Happy", 0.47),
+        ("Whizz", 0.67),
+    ]
+
+
+def test_reexport_with_renamed_dimension(base):
+    rows = base.execute(
+        """SELECT product, AGGREGATE(rev) FROM
+           (SELECT prodName AS product, rev FROM eo)
+           GROUP BY product ORDER BY product"""
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 17), ("Whizz", 3)]
+
+
+def test_measure_over_measure(base):
+    """AGGREGATE(m) AS MEASURE m2 composes a new measure (section 5.4)."""
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(m2) FROM
+           (SELECT prodName, AGGREGATE(margin) AS MEASURE m2 FROM eo)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert [(r[0], round(r[1], 2)) for r in rows] == [
+        ("Acme", 0.60),
+        ("Happy", 0.47),
+        ("Whizz", 0.67),
+    ]
+
+
+def test_measure_over_measure_grand_total(base):
+    value = base.execute(
+        """SELECT AGGREGATE(m2) FROM
+           (SELECT prodName, AGGREGATE(margin) AS MEASURE m2 FROM eo)"""
+    ).scalar()
+    assert value == pytest.approx((25 - 12) / 25)
+
+
+def test_composed_measure_with_baked_where(base):
+    """The composing query's WHERE restricts the inner measure's rows."""
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(m2) FROM
+           (SELECT prodName, AGGREGATE(rev) AS MEASURE m2 FROM eo
+            WHERE custName = 'Alice')
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert rows == [("Happy", 13)]
+
+
+def test_composed_measure_mixed_with_scalar(base):
+    rows = base.execute(
+        """SELECT prodName, AGGREGATE(big) FROM
+           (SELECT prodName, AGGREGATE(rev) * 100 AS MEASURE big FROM eo)
+           GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", 500), ("Happy", 1700), ("Whizz", 300)]
+
+
+def test_three_level_nesting(base):
+    value = base.execute(
+        """SELECT AGGREGATE(m3) FROM
+           (SELECT prodName, AGGREGATE(m2) AS MEASURE m3 FROM
+              (SELECT prodName, custName, AGGREGATE(rev) AS MEASURE m2 FROM eo))
+        """
+    ).scalar()
+    assert value == 25
+
+
+def test_queries_over_measure_views_stay_closed(base):
+    """Queries over tables with measures return tables usable in queries."""
+    value = base.execute(
+        """SELECT SUM(r) FROM
+           (SELECT prodName, AGGREGATE(rev) AS r FROM eo GROUP BY prodName)"""
+    ).scalar()
+    assert value == 25
+
+
+def test_aggregated_query_evaluates_measures_to_plain_columns(base):
+    """A GROUP BY query over a measure view returns plain values (no longer
+    measures): using them in an outer aggregate is ordinary SQL."""
+    value = base.execute(
+        """SELECT MAX(r) FROM
+           (SELECT prodName, AGGREGATE(rev) AS r FROM eo GROUP BY prodName)"""
+    ).scalar()
+    assert value == 17
+
+
+def test_reexport_from_two_sources_rejected(paper_db):
+    paper_db.execute("CREATE VIEW a1 AS SELECT *, SUM(revenue) AS MEASURE m1 FROM Orders")
+    paper_db.execute("CREATE VIEW a2 AS SELECT *, AVG(custAge) AS MEASURE m2 FROM Customers")
+    with pytest.raises(UnsupportedError):
+        paper_db.execute(
+            """SELECT prodName, AGGREGATE(x) FROM
+               (SELECT o.prodName, o.m1 AS x, c.m2 AS y
+                FROM a1 AS o JOIN a2 AS c USING (custName))
+               GROUP BY prodName"""
+        )
+
+
+def test_mixing_reexport_and_definition_rejected(base):
+    from repro import MeasureError
+
+    with pytest.raises(MeasureError):
+        base.execute(
+            """SELECT prodName, rev, SUM(1) AS MEASURE one FROM eo"""
+        )
+
+
+def test_measure_view_over_csv_like_values(db):
+    """Views with measures can sit on relations without measures (5.4)."""
+    db.execute("CREATE VIEW nums AS SELECT col1 AS k, col2 AS v FROM (VALUES ('a', 1), ('a', 2), ('b', 5)) AS t")
+    db.execute("CREATE VIEW mnums AS SELECT k, SUM(v) AS MEASURE total FROM nums")
+    rows = db.execute(
+        "SELECT k, AGGREGATE(total) FROM mnums GROUP BY k ORDER BY k"
+    ).rows
+    assert rows == [("a", 3), ("b", 5)]

@@ -1,0 +1,144 @@
+"""Measures in join queries (paper section 3.6): grain preservation,
+weighted vs unweighted vs visible aggregation, wide tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def jdb(paper_db: Database) -> Database:
+    paper_db.execute(
+        """CREATE VIEW ec AS
+           SELECT *, AVG(custAge) AS MEASURE avgAge,
+                  SUM(custAge) AS MEASURE sumAge
+           FROM Customers"""
+    )
+    return paper_db
+
+
+def test_join_does_not_change_row_counts(jdb):
+    """Measures do not affect the basic operations of SQL (section 3.6)."""
+    count = jdb.execute(
+        "SELECT COUNT(*) FROM Orders AS o JOIN ec AS c USING (custName)"
+    ).scalar()
+    assert count == 5
+
+
+def test_measure_ignores_join_fanout(jdb):
+    """A customer joined to three orders still counts once: measures are
+    locked to the grain of their defining table."""
+    weighted = jdb.execute(
+        "SELECT SUM(c.custAge) FROM Orders AS o JOIN ec AS c USING (custName)"
+    ).scalar()
+    measure = jdb.execute(
+        "SELECT AGGREGATE(c.sumAge) FROM Orders AS o JOIN ec AS c USING (custName)"
+    ).scalar()
+    assert weighted == 23 + 41 + 23 + 17 + 41  # fan-out double counts
+    assert measure == 23 + 41 + 17  # the measure does not
+
+
+def test_group_key_from_other_side_contributes_no_term(jdb):
+    """Grouping by o.prodName does not constrain a Customers measure."""
+    rows = jdb.execute(
+        """SELECT o.prodName, c.avgAge AS unweighted
+           FROM Orders AS o JOIN ec AS c USING (custName)
+           GROUP BY o.prodName ORDER BY o.prodName"""
+    ).rows
+    assert all(r[1] == pytest.approx(27.0) for r in rows)
+
+
+def test_group_key_from_measure_side_does_constrain(jdb):
+    rows = jdb.execute(
+        """SELECT c.custName, c.sumAge
+           FROM Orders AS o JOIN ec AS c USING (custName)
+           GROUP BY c.custName ORDER BY c.custName"""
+    ).rows
+    assert rows == [("Alice", 23), ("Bob", 41), ("Celia", 17)]
+
+
+def test_visible_restricts_to_group_join_partners(jdb):
+    rows = jdb.execute(
+        """SELECT o.prodName, c.avgAge AT (VISIBLE) AS viz
+           FROM Orders AS o JOIN ec AS c USING (custName)
+           GROUP BY o.prodName ORDER BY o.prodName"""
+    ).rows
+    by_prod = dict(rows)
+    assert by_prod["Acme"] == pytest.approx(41.0)  # only Bob buys Acme
+    assert by_prod["Happy"] == pytest.approx(32.0)  # Alice and Bob
+    assert by_prod["Whizz"] == pytest.approx(17.0)  # only Celia
+
+
+def test_visible_dedupes_repeat_buyers(jdb):
+    """Alice buys Happy twice; VISIBLE still counts her age once."""
+    viz = jdb.execute(
+        """SELECT c.avgAge AT (VISIBLE) FROM Orders AS o
+           JOIN ec AS c USING (custName)
+           WHERE o.prodName = 'Happy' GROUP BY o.prodName"""
+    ).scalar()
+    assert viz == pytest.approx((23 + 41) / 2)
+
+
+def test_measures_from_both_sides_of_a_join(paper_db):
+    paper_db.execute(
+        "CREATE VIEW eo2 AS SELECT *, SUM(revenue) AS MEASURE totalRev FROM Orders"
+    )
+    paper_db.execute(
+        "CREATE VIEW ec2 AS SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers"
+    )
+    rows = paper_db.execute(
+        """SELECT o.prodName, AGGREGATE(o.totalRev) AS rev,
+                  AGGREGATE(c.avgAge) AS age
+           FROM eo2 AS o JOIN ec2 AS c USING (custName)
+           GROUP BY o.prodName ORDER BY o.prodName"""
+    ).rows
+    by_prod = {r[0]: (r[1], r[2]) for r in rows}
+    assert by_prod["Acme"] == (5, pytest.approx(41.0))
+    assert by_prod["Happy"] == (17, pytest.approx(32.0))
+
+
+def test_wide_table_view_with_join(paper_db):
+    """A wide table (section 5.3): measures stay consistent despite the
+    denormalizing join."""
+    paper_db.execute(
+        """CREATE VIEW wide AS
+           SELECT o.prodName, o.orderDate, c.custName, c.custAge,
+                  SUM(o.revenue) AS MEASURE rev
+           FROM Orders AS o JOIN Customers AS c USING (custName)"""
+    )
+    rows = paper_db.execute(
+        "SELECT prodName, AGGREGATE(rev) FROM wide GROUP BY prodName ORDER BY 1"
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 17), ("Whizz", 3)]
+
+
+def test_wide_table_filter_on_dimension_attribute(paper_db):
+    paper_db.execute(
+        """CREATE VIEW wide2 AS
+           SELECT o.prodName, c.custAge, SUM(o.revenue) AS MEASURE rev
+           FROM Orders AS o JOIN Customers AS c USING (custName)"""
+    )
+    rows = paper_db.execute(
+        """SELECT prodName, AGGREGATE(rev) FROM wide2
+           WHERE custAge >= 18 GROUP BY prodName ORDER BY 1"""
+    ).rows
+    assert rows == [("Acme", 5), ("Happy", 17)]
+
+
+def test_left_join_visible_with_unmatched_rows(paper_db):
+    paper_db.execute("INSERT INTO Orders VALUES ('Ghost', 'Nobody', DATE '2024-01-01', 9, 1)")
+    paper_db.execute(
+        "CREATE VIEW ec3 AS SELECT *, COUNT(*) AS MEASURE n FROM Customers"
+    )
+    rows = paper_db.execute(
+        """SELECT o.prodName, c.n AT (VISIBLE) AS vizCount
+           FROM Orders AS o LEFT JOIN ec3 AS c USING (custName)
+           WHERE o.revenue > 0
+           GROUP BY o.prodName ORDER BY o.prodName"""
+    ).rows
+    by_prod = dict(rows)
+    # Ghost's order matches no customer: no visible customers in its group.
+    assert by_prod["Ghost"] == 0
+    assert by_prod["Happy"] == 2

@@ -1,0 +1,126 @@
+"""Optimizer rules: constant folding, filter merge/pushdown, identity
+projects — and that optimization never changes results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.engine.evaluator import ExecutionContext
+from repro.engine.executor import execute_plan
+from repro.plan import logical as plans
+from repro.plan.optimizer import optimize
+from repro.semantics.binder import Binder
+from repro.sql import parse_query
+from repro.workloads.paper_data import load_paper_tables
+
+
+@pytest.fixture
+def pdb(db: Database) -> Database:
+    load_paper_tables(db)
+    return db
+
+
+def plan_of(db: Database, sql: str) -> plans.LogicalPlan:
+    binder = Binder(db.catalog)
+    plan, _ = binder.bind_query_top(parse_query(sql))
+    return plan
+
+
+def run(db: Database, plan: plans.LogicalPlan) -> list[tuple]:
+    return execute_plan(plan, ExecutionContext(db.catalog))
+
+
+def test_constant_folding_in_projection(pdb):
+    plan = optimize(plan_of(pdb, "SELECT 1 + 2 * 3 FROM Orders"))
+    project = next(p for p in plan.walk() if isinstance(p, plans.Project))
+    from repro.semantics.bound import BoundLiteral
+
+    assert isinstance(project.exprs[0], BoundLiteral)
+    assert project.exprs[0].value == 7
+
+
+def test_true_filter_eliminated(pdb):
+    plan = optimize(plan_of(pdb, "SELECT prodName FROM Orders WHERE 1 = 1"))
+    assert not any(isinstance(p, plans.Filter) for p in plan.walk())
+
+
+def test_filters_merged(pdb):
+    """Nested filtered subqueries collapse into a single Filter."""
+    sql = """SELECT prodName FROM
+             (SELECT * FROM (SELECT * FROM Orders WHERE revenue > 3)
+              WHERE cost > 1)
+             WHERE prodName <> 'Acme'"""
+    plan = optimize(plan_of(pdb, sql))
+    filters = [p for p in plan.walk() if isinstance(p, plans.Filter)]
+    assert len(filters) == 1
+
+
+def test_filter_pushed_into_join_sides(pdb):
+    sql = """SELECT 1 FROM Orders AS o JOIN Customers AS c
+             ON o.custName = c.custName
+             WHERE o.revenue > 3 AND c.custAge > 20"""
+    plan = optimize(plan_of(pdb, sql))
+    join = next(p for p in plan.walk() if isinstance(p, plans.Join))
+    assert isinstance(join.left, plans.Filter)
+    assert isinstance(join.right, plans.Filter)
+
+
+def test_cross_side_predicate_stays_above_join(pdb):
+    sql = """SELECT 1 FROM Orders AS o JOIN Customers AS c
+             ON o.custName = c.custName
+             WHERE o.revenue > c.custAge"""
+    plan = optimize(plan_of(pdb, sql))
+    join = next(p for p in plan.walk() if isinstance(p, plans.Join))
+    assert not isinstance(join.left, plans.Filter)
+    assert not isinstance(join.right, plans.Filter)
+
+
+def test_outer_join_filter_not_pushed(pdb):
+    sql = """SELECT 1 FROM Orders AS o LEFT JOIN Customers AS c
+             ON o.custName = c.custName
+             WHERE o.revenue > 3"""
+    plan = optimize(plan_of(pdb, sql))
+    join = next(p for p in plan.walk() if isinstance(p, plans.Join))
+    assert not isinstance(join.left, plans.Filter)
+
+
+QUERIES = [
+    "SELECT prodName, SUM(revenue) FROM Orders WHERE cost > 1 GROUP BY prodName ORDER BY prodName",
+    """SELECT o.prodName, c.custAge FROM Orders AS o JOIN Customers AS c
+       ON o.custName = c.custName WHERE o.revenue > 2 AND c.custAge > 18
+       ORDER BY 1, 2""",
+    "SELECT prodName FROM Orders WHERE 2 > 1 AND revenue > 3 ORDER BY prodName",
+    """SELECT prodName, SUM(revenue) FROM Orders GROUP BY ROLLUP(prodName)
+       ORDER BY prodName NULLS LAST""",
+    """SELECT prodName, r FROM
+       (SELECT prodName, SUM(revenue) AS MEASURE r FROM Orders)
+       GROUP BY prodName ORDER BY prodName""",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_optimizer_preserves_results(pdb, sql):
+    raw = plan_of(pdb, sql)
+    optimized = optimize(plan_of(pdb, sql))
+    assert run(pdb, optimized) == run(pdb, raw)
+
+
+def test_database_optimizer_flag(pdb):
+    hot = pdb.execute(QUERIES[0]).rows
+    cold_db = Database(optimizer=False)
+    load_paper_tables(cold_db)
+    assert cold_db.execute(QUERIES[0]).rows == hot
+
+
+def test_pushdown_reduces_join_work(pdb):
+    """With pushdown, fewer combined rows are tested by the join."""
+    sql = """SELECT 1 FROM Orders AS o JOIN Customers AS c
+             ON o.custName = c.custName WHERE o.revenue > 6"""
+    raw = plan_of(pdb, sql)
+    opt = optimize(plan_of(pdb, sql))
+    # Both return one row (revenue 7 > 6), but the optimized join scans a
+    # pre-filtered left input.
+    assert run(pdb, raw) == run(pdb, opt)
+    join = next(p for p in opt.walk() if isinstance(p, plans.Join))
+    assert isinstance(join.left, plans.Filter)

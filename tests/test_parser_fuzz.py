@@ -1,0 +1,72 @@
+"""Parser robustness: arbitrary input must either parse or raise a typed
+error — never an internal exception (IndexError, RecursionError, ...)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, SqlError
+from repro.sql import parse_statement, to_sql
+
+TOKENS = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING", "JOIN",
+    "ON", "AS", "MEASURE", "AT", "ALL", "SET", "VISIBLE", "AGGREGATE",
+    "CURRENT", "AND", "OR", "NOT", "NULL", "(", ")", ",", "*", "+", "-",
+    "/", "=", "<", ">", "x", "y", "t", "u", "1", "2", "'s'", ";", ".",
+    "CASE", "WHEN", "THEN", "END", "ROLLUP", "UNION", "LIMIT", "IN",
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=25))
+def test_parser_never_crashes(tokens):
+    sql = " ".join(tokens)
+    try:
+        parse_statement(sql)
+    except SqlError:
+        pass  # typed rejection is fine
+    except RecursionError:
+        pass  # pathological nesting depth is acceptable to refuse
+    # Any other exception type fails the test.
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=40))
+def test_parser_handles_arbitrary_text(text):
+    try:
+        parse_statement(text)
+    except SqlError:
+        pass
+    except RecursionError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=20))
+def test_execute_never_crashes(tokens):
+    """End-to-end: parse+bind+execute raises only SqlError subclasses."""
+    db = Database()
+    db.execute("CREATE TABLE t (x INTEGER, y INTEGER)")
+    db.execute("CREATE TABLE u (x INTEGER)")
+    db.execute("INSERT INTO t VALUES (1, 2)")
+    sql = " ".join(tokens)
+    try:
+        db.execute(sql)
+    except SqlError:
+        pass
+    except RecursionError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=25))
+def test_successful_parse_round_trips(tokens):
+    """Whatever parses must print and re-parse to a fixed point."""
+    sql = " ".join(tokens)
+    try:
+        statement = parse_statement(sql)
+    except (SqlError, RecursionError):
+        return
+    printed = to_sql(statement)
+    assert to_sql(parse_statement(printed)) == printed

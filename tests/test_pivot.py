@@ -1,0 +1,190 @@
+"""PIVOT: the OLAP cross-tab operator, desugared to CASE aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, UnsupportedError
+
+
+@pytest.fixture
+def pdb(paper_db: Database) -> Database:
+    return paper_db
+
+
+def test_basic_pivot(pdb):
+    rows = pdb.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName, revenue FROM Orders)
+             PIVOT(SUM(revenue) FOR custName IN ('Alice', 'Bob', 'Celia'))
+           ORDER BY prodName"""
+    ).rows
+    assert rows == [
+        ("Acme", None, 5, None),
+        ("Happy", 13, 4, None),
+        ("Whizz", None, None, 3),
+    ]
+
+
+def test_pivot_column_aliases(pdb):
+    result = pdb.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName, revenue FROM Orders)
+             PIVOT(SUM(revenue) FOR custName IN ('Alice' AS alice, 'Bob' AS bob))
+           ORDER BY prodName"""
+    )
+    assert result.column_names == ["prodName", "alice", "bob"]
+
+
+def test_pivot_on_base_table_groups_remaining_columns(pdb):
+    result = pdb.execute(
+        """SELECT * FROM Orders
+           PIVOT(SUM(revenue) FOR custName IN ('Alice'))
+           ORDER BY prodName, orderDate"""
+    )
+    # orderDate and cost are untouched -> they remain grouping columns.
+    assert result.column_names == ["prodName", "orderDate", "cost", "Alice"]
+    assert len(result.rows) == 5
+
+
+def test_pivot_count(pdb):
+    rows = pdb.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName FROM Orders)
+             PIVOT(COUNT(custName) FOR custName IN ('Alice', 'Bob'))
+           ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", 0, 1), ("Happy", 2, 1), ("Whizz", 0, 0)]
+
+
+def test_pivot_integer_values_get_safe_names(db):
+    db.execute("CREATE TABLE q (k VARCHAR, y INTEGER, v INTEGER)")
+    db.execute("INSERT INTO q VALUES ('a', 2023, 1), ('a', 2024, 2)")
+    result = db.execute(
+        "SELECT * FROM q PIVOT(SUM(v) FOR y IN (2023, 2024)) ORDER BY k"
+    )
+    assert result.column_names == ["k", "_2023", "_2024"]
+    assert result.rows == [("a", 1, 2)]
+
+
+def test_pivot_with_alias_and_further_query(pdb):
+    value = pdb.execute(
+        """SELECT p.Alice FROM
+             (SELECT prodName, custName, revenue FROM Orders)
+             PIVOT(SUM(revenue) FOR custName IN ('Alice')) AS p
+           WHERE p.prodName = 'Happy'"""
+    ).scalar()
+    assert value == 13
+
+
+def test_pivot_over_view_with_measures_materializes(pdb):
+    pdb.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE r FROM Orders"""
+    )
+    # Measure columns are skipped when enumerating pivot grouping columns;
+    # pivot over the regular columns still works.
+    rows = pdb.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName, AGGREGATE(r) AS rev FROM eo
+              GROUP BY prodName, custName)
+             PIVOT(SUM(rev) FOR custName IN ('Alice', 'Bob'))
+           ORDER BY prodName"""
+    ).rows
+    assert rows == [("Acme", None, 5), ("Happy", 13, 4), ("Whizz", None, None)]
+
+
+def test_pivot_requires_argument_aggregate(pdb):
+    with pytest.raises(UnsupportedError):
+        pdb.execute("SELECT * FROM Orders PIVOT(COUNT(*) FOR custName IN ('Alice'))")
+
+
+def test_pivot_round_trip():
+    from repro.sql import parse_statement, to_sql
+
+    sql = ("SELECT * FROM t PIVOT(SUM(v) FOR k IN ('a' AS x, 'b')) AS p")
+    printed = to_sql(parse_statement(sql))
+    assert "PIVOT(SUM(v) FOR k IN ('a' AS x, 'b'))" in printed
+    assert to_sql(parse_statement(printed)) == printed
+
+
+def test_pivot_matches_manual_case(pdb):
+    pivoted = pdb.execute(
+        """SELECT * FROM
+             (SELECT prodName, custName, revenue FROM Orders)
+             PIVOT(SUM(revenue) FOR custName IN ('Alice', 'Bob'))
+           ORDER BY prodName"""
+    ).rows
+    manual = pdb.execute(
+        """SELECT prodName,
+                  SUM(CASE WHEN custName = 'Alice' THEN revenue END) AS a,
+                  SUM(CASE WHEN custName = 'Bob' THEN revenue END) AS b
+           FROM Orders GROUP BY prodName ORDER BY prodName"""
+    ).rows
+    assert pivoted == manual
+
+
+# -- UNPIVOT -----------------------------------------------------------------
+
+
+@pytest.fixture
+def wide(db: Database) -> Database:
+    db.execute("CREATE TABLE wide (k VARCHAR, q1 INTEGER, q2 INTEGER, q3 INTEGER)")
+    db.execute("INSERT INTO wide VALUES ('a', 1, 2, NULL), ('b', 4, NULL, 6)")
+    return db
+
+
+def test_unpivot_basic(wide):
+    rows = wide.execute(
+        """SELECT * FROM wide UNPIVOT(sales FOR quarter IN (q1, q2, q3))
+           ORDER BY k, quarter"""
+    ).rows
+    assert rows == [
+        ("a", "q1", 1), ("a", "q2", 2),
+        ("b", "q1", 4), ("b", "q3", 6),
+    ]
+
+
+def test_unpivot_excludes_nulls(wide):
+    count = wide.execute(
+        "SELECT COUNT(*) FROM wide UNPIVOT(v FOR q IN (q1, q2, q3))"
+    ).scalar()
+    assert count == 4  # two NULL cells dropped
+
+
+def test_unpivot_custom_labels(wide):
+    labels = wide.execute(
+        """SELECT DISTINCT q FROM wide
+           UNPIVOT(v FOR q IN (q1 AS 'first', q2 AS 'second', q3))
+           ORDER BY q"""
+    ).column("q")
+    assert labels == ["first", "q3", "second"]
+
+
+def test_unpivot_then_aggregate(wide):
+    rows = wide.execute(
+        """SELECT quarter, SUM(sales) FROM wide
+           UNPIVOT(sales FOR quarter IN (q1, q2, q3))
+           GROUP BY quarter ORDER BY quarter"""
+    ).rows
+    assert rows == [("q1", 5), ("q2", 2), ("q3", 6)]
+
+
+def test_pivot_unpivot_round_trip_values(wide):
+    """UNPIVOT then PIVOT reconstructs the original non-null cells."""
+    rows = wide.execute(
+        """SELECT * FROM
+             (SELECT * FROM wide UNPIVOT(v FOR q IN (q1, q2, q3)))
+             PIVOT(SUM(v) FOR q IN ('q1' AS q1, 'q2' AS q2, 'q3' AS q3))
+           ORDER BY k"""
+    ).rows
+    assert rows == [("a", 1, 2, None), ("b", 4, None, 6)]
+
+
+def test_unpivot_round_trip_printer():
+    from repro.sql import parse_statement, to_sql
+
+    sql = "SELECT * FROM t UNPIVOT(v FOR q IN (a, b AS 'bee')) AS u"
+    printed = to_sql(parse_statement(sql))
+    assert "UNPIVOT" in printed
+    assert to_sql(parse_statement(printed)) == printed

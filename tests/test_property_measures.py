@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) of the paper's core invariants.
+
+These run the same randomized order data through both evaluation paths
+(top-down interpreter vs static SQL expansion), through measures vs plain
+SQL, and with the context cache on vs off — all must agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+PRODUCTS = ["p1", "p2", "p3"]
+CUSTOMERS = ["c1", "c2"]
+
+order_rows = st.lists(
+    st.tuples(
+        st.sampled_from(PRODUCTS),
+        st.sampled_from(CUSTOMERS),
+        st.integers(2020, 2022),
+        st.integers(1, 100),
+        st.integers(0, 50),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def make_db(rows, **kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table_from_rows(
+        "Orders",
+        [
+            ("prodName", "VARCHAR"),
+            ("custName", "VARCHAR"),
+            ("y", "INTEGER"),
+            ("revenue", "INTEGER"),
+            ("cost", "INTEGER"),
+        ],
+        rows,
+    )
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, y,
+                  SUM(revenue) AS MEASURE rev,
+                  COUNT(*) AS MEASURE n
+           FROM Orders"""
+    )
+    return db
+
+
+def normalized(rows):
+    cleaned = [
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return sorted(
+        cleaned, key=lambda row: tuple((v is None, str(v)) for v in row)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_aggregate_measure_equals_plain_sql(rows):
+    db = make_db(rows)
+    measured = db.execute(
+        "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName"
+    ).rows
+    plain = db.execute(
+        "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName"
+    ).rows
+    assert normalized(measured) == normalized(plain)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_interpreter_equals_expansion(rows):
+    db = make_db(rows)
+    sql = """SELECT prodName, y, AGGREGATE(rev) AS r,
+                    rev AT (ALL y) AS prodTotal,
+                    rev AT (SET y = CURRENT y - 1) AS prev
+             FROM eo GROUP BY prodName, y"""
+    interpreted = db.execute(sql).rows
+    expanded = db.execute(db.expand(sql)).rows
+    assert normalized(interpreted) == normalized(expanded)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_cache_on_off_equivalence(rows):
+    sql = """SELECT prodName, AGGREGATE(rev) AS r, rev AT (ALL) AS total
+             FROM eo GROUP BY prodName"""
+    hot = make_db(rows, cache=True).execute(sql).rows
+    cold = make_db(rows, cache=False).execute(sql).rows
+    assert normalized(hot) == normalized(cold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_shares_sum_to_one(rows):
+    db = make_db(rows)
+    shares = db.execute(
+        """SELECT rev / rev AT (ALL prodName) AS share
+           FROM eo GROUP BY prodName"""
+    ).column("share")
+    assert sum(shares) == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_group_terms_partition_the_total(rows):
+    """Sum of per-group measure values equals the ALL value (additivity)."""
+    db = make_db(rows)
+    result = db.execute(
+        "SELECT prodName, AGGREGATE(rev) AS r, rev AT (ALL) AS total "
+        "FROM eo GROUP BY prodName"
+    )
+    totals = {row[2] for row in result.rows}
+    assert len(totals) == 1
+    assert sum(row[1] for row in result.rows) == totals.pop()
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_rollup_total_row_equals_all(rows):
+    db = make_db(rows)
+    result = db.execute(
+        """SELECT prodName, rev AS r FROM eo
+           GROUP BY ROLLUP(prodName)"""
+    ).rows
+    total_row = [r for r in result if r[0] is None]
+    assert len(total_row) == 1
+    assert total_row[0][1] == sum(r[3] for r in db.catalog.base_table("Orders").table.rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_visible_equals_aggregate(rows):
+    """AGGREGATE(m) == m AT (VISIBLE) on arbitrary filtered queries."""
+    db = make_db(rows)
+    result = db.execute(
+        """SELECT prodName, AGGREGATE(rev) AS a, rev AT (VISIBLE) AS v
+           FROM eo WHERE y >= 2021 GROUP BY prodName"""
+    ).rows
+    assert all(r[1] == r[2] for r in result)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_window_strategy_agrees_with_interpreter(rows):
+    db = make_db(rows)
+    sql = """SELECT prodName, custName, revenue FROM
+             (SELECT prodName, custName, revenue,
+                     AVG(revenue) AS MEASURE avgRev FROM Orders) AS o
+             WHERE o.revenue >= o.avgRev AT (WHERE prodName = o.prodName)"""
+    interpreted = db.execute(sql).rows
+    windowed = db.execute(db.expand(sql, strategy="window")).rows
+    assert normalized(interpreted) == normalized(windowed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_rows)
+def test_inline_strategy_agrees_with_interpreter(rows):
+    db = make_db(rows)
+    sql = """SELECT prodName, AGGREGATE(rev) AS r FROM eo
+             WHERE y > 2020 GROUP BY prodName"""
+    interpreted = db.execute(sql).rows
+    inlined = db.execute(db.expand(sql, strategy="inline")).rows
+    assert normalized(interpreted) == normalized(inlined)
+
+
+@settings(max_examples=20, deadline=None)
+@given(order_rows, st.sampled_from(PRODUCTS))
+def test_set_modifier_equals_filtered_query(rows, pinned):
+    """m AT (SET prodName = 'x') equals a fresh query filtered to x."""
+    db = make_db(rows)
+    pinned_value = db.execute(
+        f"SELECT rev AT (ALL SET prodName = '{pinned}') FROM eo GROUP BY custName LIMIT 1"
+    ).rows
+    direct = db.execute(
+        f"SELECT SUM(revenue) FROM Orders WHERE prodName = '{pinned}'"
+    ).scalar()
+    if pinned_value:
+        assert pinned_value[0][0] == direct
+
+
+@settings(max_examples=20, deadline=None)
+@given(order_rows)
+def test_rollup_expansion_equivalence(rows):
+    """Grouping-set expansion (UNION ALL rewrite) matches the interpreter."""
+    db = make_db(rows)
+    sql = """SELECT prodName, custName, AGGREGATE(rev) AS r, rev AS raw
+             FROM eo GROUP BY ROLLUP(prodName, custName)"""
+    interpreted = db.execute(sql).rows
+    expanded = db.execute(db.expand(sql)).rows
+    assert normalized(interpreted) == normalized(expanded)
+
+
+@settings(max_examples=20, deadline=None)
+@given(order_rows)
+def test_count_measure_matches_group_sizes(rows):
+    db = make_db(rows)
+    measured = db.execute(
+        "SELECT prodName, AGGREGATE(n) FROM eo GROUP BY prodName"
+    ).rows
+    plain = db.execute(
+        "SELECT prodName, COUNT(*) FROM Orders GROUP BY prodName"
+    ).rows
+    assert normalized(measured) == normalized(plain)

@@ -1,0 +1,225 @@
+"""Property test: random AT modifier chains against an independent oracle.
+
+The oracle re-implements the context algebra of docs/SEMANTICS.md directly
+over Python rows — no SQL involved — and must agree with the engine for any
+random data and any random modifier chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+PRODUCTS = ["p1", "p2"]
+CUSTOMERS = ["c1", "c2", "c3"]
+YEARS = [2021, 2022]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(PRODUCTS),
+        st.sampled_from(CUSTOMERS),
+        st.sampled_from(YEARS),
+        st.integers(1, 9),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@dataclass(frozen=True)
+class AllMod:
+    dims: Optional[tuple[str, ...]]  # None = bare ALL
+
+
+@dataclass(frozen=True)
+class SetMod:
+    dim: str
+    value: object
+
+
+@dataclass(frozen=True)
+class WhereMod:
+    dim: str
+    value: object
+
+
+def _mod():
+    return st.one_of(
+        st.just(AllMod(None)),
+        st.sampled_from(["prod", "cust", "y"]).map(lambda d: AllMod((d,))),
+        st.tuples(st.just("prod"), st.sampled_from(PRODUCTS)).map(lambda t: SetMod(*t)),
+        st.tuples(st.just("cust"), st.sampled_from(CUSTOMERS)).map(lambda t: SetMod(*t)),
+        st.tuples(st.just("y"), st.sampled_from(YEARS)).map(lambda t: SetMod(*t)),
+        st.tuples(st.just("y"), st.sampled_from(YEARS)).map(lambda t: WhereMod(*t)),
+    )
+
+
+modifiers_strategy = st.lists(_mod(), min_size=0, max_size=4)
+
+_COLUMN = {"prod": 0, "cust": 1, "y": 2}
+
+
+def oracle(rows, group_value, modifiers):
+    """Expected measure value: SUM(v) under the final context."""
+    # Base context: the group term on prod.
+    terms: dict[str, object] = {"prod": group_value}
+    predicates = []
+    for modifier in modifiers:
+        if isinstance(modifier, AllMod):
+            if modifier.dims is None:
+                terms.clear()
+                predicates.clear()
+            else:
+                for dim in modifier.dims:
+                    terms.pop(dim, None)
+        elif isinstance(modifier, SetMod):
+            terms[modifier.dim] = modifier.value
+        elif isinstance(modifier, WhereMod):
+            terms.clear()
+            predicates.clear()
+            predicates.append((modifier.dim, modifier.value))
+    total = None
+    for row in rows:
+        ok = all(row[_COLUMN[d]] == v for d, v in terms.items())
+        ok = ok and all(row[_COLUMN[d]] == v for d, v in predicates)
+        if ok:
+            total = row[3] if total is None else total + row[3]
+    return total
+
+
+def render(modifiers) -> str:
+    parts = []
+    for modifier in modifiers:
+        if isinstance(modifier, AllMod):
+            parts.append("ALL" if modifier.dims is None else "ALL " + ", ".join(modifier.dims))
+        elif isinstance(modifier, SetMod):
+            value = f"'{modifier.value}'" if isinstance(modifier.value, str) else modifier.value
+            parts.append(f"SET {modifier.dim} = {value}")
+        else:
+            value = f"'{modifier.value}'" if isinstance(modifier.value, str) else modifier.value
+            parts.append(f"WHERE {modifier.dim} = {value}")
+    return " ".join(parts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows_strategy, modifiers_strategy)
+def test_modifier_chain_matches_oracle(rows, modifiers):
+    db = Database()
+    db.create_table_from_rows(
+        "t",
+        [("prod", "VARCHAR"), ("cust", "VARCHAR"), ("y", "INTEGER"), ("v", "INTEGER")],
+        rows,
+    )
+    db.execute(
+        "CREATE VIEW m AS SELECT prod, cust, y, SUM(v) AS MEASURE total FROM t"
+    )
+    use = "total" if not modifiers else f"total AT ({render(modifiers)})"
+    result = db.execute(f"SELECT prod, {use} AS x FROM m GROUP BY prod").rows
+    for prod, measured in result:
+        assert measured == oracle(rows, prod, modifiers), (
+            prod,
+            render(modifiers),
+            rows,
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, modifiers_strategy)
+def test_modifier_chain_interpreter_equals_expansion(rows, modifiers):
+    db = Database()
+    db.create_table_from_rows(
+        "t",
+        [("prod", "VARCHAR"), ("cust", "VARCHAR"), ("y", "INTEGER"), ("v", "INTEGER")],
+        rows,
+    )
+    db.execute(
+        "CREATE VIEW m AS SELECT prod, cust, y, SUM(v) AS MEASURE total FROM t"
+    )
+    use = "total" if not modifiers else f"total AT ({render(modifiers)})"
+    sql = f"SELECT prod, {use} AS x FROM m GROUP BY prod ORDER BY prod"
+    assert db.execute(db.expand(sql)).rows == db.execute(sql).rows
+
+
+@dataclass(frozen=True)
+class VisibleMod:
+    pass
+
+
+def _mod_with_visible():
+    return st.one_of(_mod(), st.just(VisibleMod()))
+
+
+def render_with_visible(modifiers) -> str:
+    parts = []
+    for modifier in modifiers:
+        if isinstance(modifier, VisibleMod):
+            parts.append("VISIBLE")
+        elif isinstance(modifier, AllMod):
+            parts.append("ALL" if modifier.dims is None else "ALL " + ", ".join(modifier.dims))
+        elif isinstance(modifier, SetMod):
+            value = f"'{modifier.value}'" if isinstance(modifier.value, str) else modifier.value
+            parts.append(f"SET {modifier.dim} = {value}")
+        else:
+            value = f"'{modifier.value}'" if isinstance(modifier.value, str) else modifier.value
+            parts.append(f"WHERE {modifier.dim} = {value}")
+    return " ".join(parts)
+
+
+def oracle_with_visible(rows, group_value, modifiers, query_year):
+    """Like :func:`oracle`, with the query filtered to y = query_year and
+    VISIBLE adding that restriction as a predicate term."""
+    terms: dict[str, object] = {"prod": group_value}
+    predicates = []
+    for modifier in modifiers:
+        if isinstance(modifier, VisibleMod):
+            predicates.append(("y", query_year))
+        elif isinstance(modifier, AllMod):
+            if modifier.dims is None:
+                terms.clear()
+                predicates.clear()
+            else:
+                for dim in modifier.dims:
+                    terms.pop(dim, None)
+        elif isinstance(modifier, SetMod):
+            terms[modifier.dim] = modifier.value
+        elif isinstance(modifier, WhereMod):
+            terms.clear()
+            predicates.clear()
+            predicates.append((modifier.dim, modifier.value))
+    total = None
+    for row in rows:
+        ok = all(row[_COLUMN[d]] == v for d, v in terms.items())
+        ok = ok and all(row[_COLUMN[d]] == v for d, v in predicates)
+        if ok:
+            total = row[3] if total is None else total + row[3]
+    return total
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows_strategy,
+    st.lists(_mod_with_visible(), min_size=0, max_size=4),
+    st.sampled_from(YEARS),
+)
+def test_modifier_chain_with_visible_matches_oracle(rows, modifiers, query_year):
+    db = Database()
+    db.create_table_from_rows(
+        "t",
+        [("prod", "VARCHAR"), ("cust", "VARCHAR"), ("y", "INTEGER"), ("v", "INTEGER")],
+        rows,
+    )
+    db.execute(
+        "CREATE VIEW m AS SELECT prod, cust, y, SUM(v) AS MEASURE total FROM t"
+    )
+    use = "total" if not modifiers else f"total AT ({render_with_visible(modifiers)})"
+    result = db.execute(
+        f"SELECT prod, {use} AS x FROM m WHERE y = {query_year} GROUP BY prod"
+    ).rows
+    for prod, measured in result:
+        expected = oracle_with_visible(rows, prod, modifiers, query_year)
+        assert measured == expected, (prod, render_with_visible(modifiers), rows)

@@ -1,0 +1,124 @@
+"""Unit tests for name-resolution scopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindError
+from repro.semantics.scope import RelColumn, Relation, Scope
+from repro.types import INTEGER, VARCHAR
+
+
+def make_relation(alias, names, start=0):
+    columns = [RelColumn(n, INTEGER, start + i) for i, n in enumerate(names)]
+    return Relation(alias, columns, start, len(names))
+
+
+def test_qualified_resolution():
+    scope = Scope()
+    scope.add_relation(make_relation("o", ["a", "b"]))
+    resolution = scope.resolve(("o", "b"))
+    assert resolution.depth == 0
+    assert resolution.column.offset == 1
+
+
+def test_unqualified_unique_resolution():
+    scope = Scope()
+    scope.add_relation(make_relation("o", ["a"]))
+    scope.add_relation(make_relation("c", ["b"], start=1))
+    assert scope.resolve(("b",)).column.offset == 1
+
+
+def test_unqualified_ambiguous_raises():
+    scope = Scope()
+    scope.add_relation(make_relation("o", ["k"]))
+    scope.add_relation(make_relation("c", ["k"], start=1))
+    with pytest.raises(BindError, match="ambiguous"):
+        scope.resolve(("k",))
+
+
+def test_merged_names_prefer_left():
+    scope = Scope()
+    scope.add_relation(make_relation("o", ["k"]))
+    scope.add_relation(make_relation("c", ["k"], start=1))
+    scope.merged_names.add("k")
+    assert scope.resolve(("k",)).column.offset == 0
+
+
+def test_case_insensitive_matching():
+    scope = Scope()
+    scope.add_relation(make_relation("Orders", ["ProdName"]))
+    assert scope.resolve(("ORDERS", "prodname")).column.offset == 0
+
+
+def test_qualified_miss_names_relation():
+    scope = Scope()
+    scope.add_relation(make_relation("o", ["a"]))
+    with pytest.raises(BindError, match="no column 'z'"):
+        scope.resolve(("o", "z"))
+
+
+def test_unknown_qualifier_falls_through_to_parent():
+    parent = Scope()
+    parent.add_relation(make_relation("outer", ["x"]))
+    child = Scope(parent)
+    child.add_relation(make_relation("inner", ["y"]))
+    resolution = child.resolve(("outer", "x"))
+    assert resolution.depth == 1
+
+
+def test_unqualified_walks_up_with_depth():
+    parent = Scope()
+    parent.add_relation(make_relation("o", ["deep"]))
+    middle = Scope(parent)
+    middle.add_relation(make_relation("m", ["mid"]))
+    child = Scope(middle)
+    child.add_relation(make_relation("i", ["shallow"]))
+    assert child.resolve(("shallow",)).depth == 0
+    assert child.resolve(("mid",)).depth == 1
+    assert child.resolve(("deep",)).depth == 2
+
+
+def test_inner_shadow_wins():
+    parent = Scope()
+    parent.add_relation(make_relation("o", ["k"]))
+    child = Scope(parent)
+    child.add_relation(make_relation("i", ["k"]))
+    assert child.resolve(("k",)).depth == 0
+
+
+def test_unknown_everywhere_raises():
+    scope = Scope(Scope())
+    with pytest.raises(BindError, match="unknown column"):
+        scope.resolve(("ghost",))
+
+
+def test_duplicate_alias_rejected():
+    scope = Scope()
+    scope.add_relation(make_relation("x", ["a"]))
+    with pytest.raises(BindError, match="duplicate"):
+        scope.add_relation(make_relation("X", ["b"], start=1))
+
+
+def test_relation_of_offset():
+    scope = Scope()
+    left = make_relation("l", ["a", "b"])
+    right = make_relation("r", ["c"], start=2)
+    scope.add_relation(left)
+    scope.add_relation(right)
+    assert scope.relation_of_offset(1) is left
+    assert scope.relation_of_offset(2) is right
+    assert scope.relation_of_offset(9) is None
+
+
+def test_measure_columns_have_no_offset():
+    relation = Relation(
+        "v",
+        [RelColumn("dim", VARCHAR, 0), RelColumn("m", INTEGER, None)],
+        0,
+        1,
+    )
+    scope = Scope()
+    scope.add_relation(relation)
+    assert scope.resolve(("m",)).column.offset is None
+    assert scope.width == 1

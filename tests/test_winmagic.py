@@ -1,0 +1,127 @@
+"""The WinMagic rewrite (paper section 5.1, Zuzarte et al. 2003)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, UnsupportedError
+from repro.core.winmagic import winmagic_rewrite
+from repro.sql import parse_query, to_sql
+
+
+def rewrite(db: Database, sql: str) -> str:
+    return to_sql(winmagic_rewrite(db, parse_query(sql)))
+
+
+Q1 = """SELECT o.prodName, o.orderDate FROM Orders AS o
+        WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+                           WHERE o1.prodName = o.prodName)
+        ORDER BY 1, 2"""
+
+
+def test_listing12_q1_becomes_q3(paper_db):
+    rewritten = rewrite(paper_db, Q1)
+    assert "OVER (PARTITION BY prodName)" in rewritten
+    assert "(SELECT" not in rewritten.replace("FROM (SELECT", "")
+    assert paper_db.execute(rewritten).rows == paper_db.execute(Q1).rows
+
+
+def test_rewrite_in_select_list(paper_db):
+    sql = """SELECT o.prodName,
+                    o.revenue - (SELECT AVG(revenue) FROM Orders AS i
+                                 WHERE i.prodName = o.prodName) AS delta
+             FROM Orders AS o ORDER BY 1, 2"""
+    rewritten = rewrite(paper_db, sql)
+    assert "OVER" in rewritten
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_correlation_order_insensitive(paper_db):
+    sql = """SELECT o.prodName FROM Orders AS o
+             WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS i
+                                WHERE o.prodName = i.prodName)
+             ORDER BY 1"""
+    rewritten = rewrite(paper_db, sql)
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_multi_key_correlation(paper_db):
+    sql = """SELECT o.prodName FROM Orders AS o
+             WHERE o.revenue >= (SELECT MAX(revenue) FROM Orders AS i
+                                 WHERE i.prodName = o.prodName
+                                   AND i.custName = o.custName)
+             ORDER BY 1"""
+    rewritten = rewrite(paper_db, sql)
+    assert "PARTITION BY prodName, custName" in rewritten
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_duplicate_subqueries_share_one_window(paper_db):
+    sql = """SELECT o.prodName FROM Orders AS o
+             WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS i
+                                WHERE i.prodName = o.prodName)
+                OR o.cost > (SELECT AVG(revenue) FROM Orders AS i
+                             WHERE i.prodName = o.prodName)
+             ORDER BY 1"""
+    rewritten = rewrite(paper_db, sql)
+    assert rewritten.count("OVER") == 1
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_different_aggregates_get_separate_windows(paper_db):
+    sql = """SELECT o.prodName FROM Orders AS o
+             WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS i
+                                WHERE i.prodName = o.prodName)
+               AND o.revenue < (SELECT MAX(revenue) FROM Orders AS i
+                                WHERE i.prodName = o.prodName) + 1
+             ORDER BY 1"""
+    rewritten = rewrite(paper_db, sql)
+    assert rewritten.count("OVER") == 2
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_different_table_not_rewritten(paper_db):
+    with pytest.raises(UnsupportedError):
+        rewrite(
+            paper_db,
+            """SELECT o.prodName FROM Orders AS o
+               WHERE o.revenue > (SELECT AVG(custAge) FROM Customers AS c
+                                  WHERE c.custName = o.custName)""",
+        )
+
+
+def test_local_subquery_predicate_not_rewritten(paper_db):
+    with pytest.raises(UnsupportedError):
+        rewrite(
+            paper_db,
+            """SELECT o.prodName FROM Orders AS o
+               WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS i
+                                  WHERE i.prodName = o.prodName
+                                    AND i.cost > 1)""",
+        )
+
+
+def test_grouped_outer_query_not_rewritten(paper_db):
+    with pytest.raises(UnsupportedError):
+        rewrite(
+            paper_db,
+            """SELECT prodName, COUNT(*) FROM Orders GROUP BY prodName""",
+        )
+
+
+def test_uncorrelated_same_table_subquery_becomes_global_window(paper_db):
+    """No correlation keys -> an empty partition (the whole input), which is
+    still a valid and profitable rewrite."""
+    sql = """SELECT prodName FROM Orders
+             WHERE revenue > (SELECT AVG(revenue) FROM Orders) ORDER BY 1"""
+    rewritten = rewrite(paper_db, sql)
+    assert "OVER ()" in rewritten
+    assert paper_db.execute(rewritten).rows == paper_db.execute(sql).rows
+
+
+def test_winmagic_on_synthetic_workload():
+    from repro.workloads import WorkloadConfig, workload_database
+
+    db = workload_database(WorkloadConfig(orders=500, products=10, customers=20))
+    rewritten = rewrite(db, Q1)
+    assert sorted(db.execute(rewritten).rows) == sorted(db.execute(Q1).rows)

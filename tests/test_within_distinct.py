@@ -1,0 +1,128 @@
+"""WITHIN DISTINCT: the grain-managing aggregate clause (paper section 6.3,
+CALCITE-4483), including its use inside measures over wide tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, ExecutionError
+
+
+@pytest.fixture
+def wide(db: Database) -> Database:
+    """Order lines with order-grain columns repeated per line."""
+    db.execute(
+        """CREATE TABLE lines (
+             orderId INTEGER, customer VARCHAR, item VARCHAR,
+             qty INTEGER, shipping INTEGER)"""
+    )
+    db.execute(
+        """INSERT INTO lines VALUES
+           (1, 'ann', 'a', 2, 5), (1, 'ann', 'b', 1, 5),
+           (2, 'ann', 'a', 3, 7),
+           (3, 'bo',  'c', 1, 4), (3, 'bo', 'd', 2, 4), (3, 'bo', 'e', 1, 4)"""
+    )
+    return db
+
+
+def test_sum_within_distinct_avoids_double_counting(wide):
+    naive = wide.execute("SELECT SUM(shipping) FROM lines").scalar()
+    deduped = wide.execute(
+        "SELECT SUM(shipping) WITHIN DISTINCT (orderId) FROM lines"
+    ).scalar()
+    assert naive == 5 + 5 + 7 + 4 + 4 + 4
+    assert deduped == 5 + 7 + 4
+
+
+def test_count_star_within_distinct(wide):
+    orders = wide.execute(
+        "SELECT COUNT(*) WITHIN DISTINCT (orderId) FROM lines"
+    ).scalar()
+    assert orders == 3
+
+
+def test_within_distinct_multiple_keys(wide):
+    value = wide.execute(
+        "SELECT COUNT(*) WITHIN DISTINCT (customer, orderId) FROM lines"
+    ).scalar()
+    assert value == 3
+
+
+def test_within_distinct_per_group(wide):
+    rows = wide.execute(
+        """SELECT customer, SUM(shipping) WITHIN DISTINCT (orderId) AS ship
+           FROM lines GROUP BY customer ORDER BY customer"""
+    ).rows
+    assert rows == [("ann", 12), ("bo", 4)]
+
+
+def test_within_distinct_with_filter(wide):
+    value = wide.execute(
+        """SELECT SUM(shipping) WITHIN DISTINCT (orderId)
+             FILTER (WHERE customer = 'ann')
+           FROM lines"""
+    ).scalar()
+    assert value == 12
+
+
+def test_inconsistent_argument_raises(wide):
+    wide.execute("INSERT INTO lines VALUES (2, 'ann', 'x', 1, 999)")
+    with pytest.raises(ExecutionError, match="not constant"):
+        wide.execute("SELECT SUM(shipping) WITHIN DISTINCT (orderId) FROM lines")
+
+
+def test_per_line_aggregate_unaffected(wide):
+    assert wide.execute("SELECT SUM(qty) FROM lines").scalar() == 10
+
+
+def test_within_distinct_in_measure(wide):
+    """The paper's section 6.4 suggestion: WITHIN DISTINCT preserves measure
+    grain over denormalized wide tables."""
+    wide.execute(
+        """CREATE VIEW wideSales AS
+           SELECT orderId, customer, item,
+                  SUM(qty) AS MEASURE units,
+                  SUM(shipping) WITHIN DISTINCT (orderId) AS MEASURE ship
+           FROM lines"""
+    )
+    rows = wide.execute(
+        """SELECT customer, AGGREGATE(units) AS units, AGGREGATE(ship) AS ship
+           FROM wideSales GROUP BY customer ORDER BY customer"""
+    ).rows
+    assert rows == [("ann", 6, 12), ("bo", 4, 4)]
+
+
+def test_within_distinct_round_trip():
+    from repro.sql import parse_statement, to_sql
+
+    sql = "SELECT SUM(x) WITHIN DISTINCT (k, j) FROM t"
+    printed = to_sql(parse_statement(sql))
+    assert "WITHIN DISTINCT (k, j)" in printed
+    assert to_sql(parse_statement(printed)) == printed
+
+
+def test_within_distinct_null_keys_form_one_group(db):
+    db.execute("CREATE TABLE n (k INTEGER, v INTEGER)")
+    db.execute("INSERT INTO n VALUES (NULL, 3), (NULL, 3), (1, 2)")
+    assert (
+        db.execute("SELECT SUM(v) WITHIN DISTINCT (k) FROM n").scalar() == 5
+    )
+
+
+def test_semi_additive_inventory_with_within_distinct(db):
+    """Items-on-hand: LAST_VALUE over time per warehouse, then summed across
+    warehouses — the paper's flagship semi-additive example (section 6.3)."""
+    db.execute(
+        "CREATE TABLE inv (warehouse VARCHAR, day DATE, onHand INTEGER)"
+    )
+    db.execute(
+        """INSERT INTO inv VALUES
+           ('w1', DATE '2024-01-01', 10), ('w1', DATE '2024-01-02', 12),
+           ('w2', DATE '2024-01-01', 5),  ('w2', DATE '2024-01-02', 7)"""
+    )
+    total = db.execute(
+        """SELECT SUM(latest) FROM
+           (SELECT warehouse, LAST_VALUE(onHand ORDER BY day) AS latest
+            FROM inv GROUP BY warehouse)"""
+    ).scalar()
+    assert total == 12 + 7
