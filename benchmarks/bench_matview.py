@@ -1,0 +1,109 @@
+"""F07: materialized summary tables vs cold measure expansion.
+
+A repeated dashboard query — total revenue by product over a measure view —
+either expands the measure against the full fact table every time (cold), or
+is answered from a pre-aggregated summary whose row count is the number of
+products (summary hit).  The gap grows linearly with the fact-table size
+while the summary path stays flat.
+
+Run standalone for a smoke check (used by CI)::
+
+    python -m benchmarks.bench_matview --quick
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro import Database
+from repro.workloads import WorkloadConfig, load_workload
+
+SIZES = [500, 2000, 8000]
+
+QUERY = "SELECT prodName, AGGREGATE(rev) AS r FROM eo GROUP BY prodName ORDER BY prodName"
+
+SUMMARY_DDL = """CREATE MATERIALIZED VIEW eo_by_prod AS
+                 SELECT prodName, AGGREGATE(rev) AS rev
+                 FROM eo GROUP BY prodName"""
+
+
+def build(size: int, *, summary: bool) -> Database:
+    db = Database()
+    load_workload(db, WorkloadConfig(orders=size, products=20, customers=50))
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE rev FROM Orders"""
+    )
+    if summary:
+        db.execute(SUMMARY_DDL)
+    return db
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("summary", [False, True], ids=["cold-expansion", "summary-hit"])
+def test_f07_matview_series(benchmark, size, summary):
+    db = build(size, summary=summary)
+    benchmark.group = f"F07 matview n={size}"
+    result = benchmark(db.execute, QUERY)
+    assert len(result.rows) > 0
+
+
+def test_f07_summary_answers_are_identical():
+    cold = build(2000, summary=False)
+    hot = build(2000, summary=True)
+    assert hot.execute(QUERY).rows == cold.execute(QUERY).rows
+    assert hot.summary_stats()["eo_by_prod"]["hits"] == 1
+
+
+def test_f07_summary_scan_is_small():
+    hot = build(2000, summary=True)
+    hot.execute(QUERY)
+    # The hit reads the 20-row summary, not the 2000-row fact table.
+    assert hot.last_stats.rows_scanned <= 40
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    size = 800 if quick else 8000
+    repeats = 3 if quick else 5
+
+    cold = build(size, summary=False)
+    hot = build(size, summary=True)
+
+    def best_of(db: Database) -> float:
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            db.execute(QUERY)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    cold_rows = cold.execute(QUERY).rows
+    hot_rows = hot.execute(QUERY).rows
+    if hot_rows != cold_rows:
+        print("FAIL: summary answer differs from cold expansion")
+        return 1
+
+    cold_time = best_of(cold)
+    hot_time = best_of(hot)
+    speedup = cold_time / hot_time if hot_time else float("inf")
+    print(
+        f"F07 matview (n={size}): cold expansion {cold_time * 1000:.2f} ms, "
+        f"summary hit {hot_time * 1000:.2f} ms, speedup {speedup:.1f}x"
+    )
+    if hot_time >= cold_time:
+        print("FAIL: summary hit is not faster than cold expansion")
+        return 1
+    stats = hot.summary_stats()["eo_by_prod"]
+    if not stats["hits"]:
+        print("FAIL: query did not hit the summary")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,3 +68,30 @@ print(
         "SELECT category, AGGREGATE(margin) FROM SalesExplore GROUP BY category"
     )
 )
+
+# -- 4. The DBA accelerates the dashboard with a summary table ----------------
+db.execute(
+    """CREATE MATERIALIZED VIEW SalesByProduct AS
+       SELECT prodName, AGGREGATE(totalRevenue) AS totalRevenue,
+              AGGREGATE(orderCount) AS orderCount
+       FROM SalesExplore GROUP BY prodName"""
+)
+
+print("\nMaterialized views the tool can discover:")
+for view in db.catalog.materialized_views():
+    info = db.describe(view.name)
+    state = "stale" if info["stale"] else "fresh"
+    print(
+        f"  {info['name']} ({info['kind']}, {state}) over {info['source']}: "
+        f"dimensions {info['dimensions']}, "
+        f"measures {[m['name'] + '/' + m['rollup'] for m in info['measures']]}"
+    )
+
+panel = """SELECT prodName, AGGREGATE(totalRevenue) AS revenue
+           FROM SalesExplore GROUP BY prodName ORDER BY revenue DESC LIMIT 3"""
+print("\nTop products panel (answered from the summary):")
+print(db.execute(panel).pretty())
+for (line,) in db.execute(f"EXPLAIN {panel}").rows:
+    if line.startswith("summary:"):
+        print(f"  {line}")
+print(f"summary stats: {json.dumps(db.summary_stats())}")

@@ -22,6 +22,7 @@ from repro.errors import (
     BindError,
     CatalogError,
     ExecutionError,
+    InternalError,
     LexerError,
     MeasureError,
     ParseError,
@@ -38,6 +39,7 @@ __all__ = [
     "CatalogError",
     "Database",
     "ExecutionError",
+    "InternalError",
     "LexerError",
     "MeasureError",
     "ParseError",

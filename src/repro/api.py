@@ -26,11 +26,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
-from repro.catalog import Catalog, TableSchema
+from repro.catalog import Catalog, MaterializedView, TableSchema
 from repro.catalog.schema import Column
 from repro.engine.evaluator import ExecutionContext
 from repro.engine.executor import execute_plan
 from repro.errors import BindError, CatalogError, SqlError
+from repro.matview import analyze_definition, maintenance, rewrite_query
 from repro.plan.optimizer import optimize
 from repro.result import Result, ResultColumn
 from repro.semantics.binder import Binder
@@ -51,12 +52,26 @@ class Database:
         F02 benchmark turns it off to expose the naive quadratic behaviour.
     optimizer:
         Enable the logical-plan optimizer (A02 ablation).
+    summaries:
+        Enable answering queries from materialized summary tables (the
+        :mod:`repro.matview` rewriter).  Off, summaries can still be
+        created and refreshed but are never consulted.
     """
 
-    def __init__(self, *, cache: bool = True, optimizer: bool = True):
+    def __init__(
+        self,
+        *,
+        cache: bool = True,
+        optimizer: bool = True,
+        summaries: bool = True,
+    ):
         self.catalog = Catalog()
         self.cache_enabled = cache
         self.optimizer_enabled = optimizer
+        self.summaries_enabled = summaries
+        #: Internal: True while a refresh/delta query runs, so a summary's
+        #: own definition is never answered from the (old) summary itself.
+        self._suppress_summaries = False
         #: Statistics of the most recent query execution.
         self.last_stats: Optional[ExecutionContext] = None
 
@@ -91,9 +106,15 @@ class Database:
             table = self.catalog.base_table(statement.table)
             count = len(table.table)
             table.table.truncate()
+            if count:
+                maintenance.on_mutation(self, statement.table)
             return Result(rowcount=count, message=f"{count} rows truncated")
         if isinstance(statement, ast.CreateView):
             return self._create_view(statement)
+        if isinstance(statement, ast.CreateMaterializedView):
+            return self._create_materialized_view(statement)
+        if isinstance(statement, ast.RefreshMaterializedView):
+            return self._refresh_materialized_view(statement)
         if isinstance(statement, ast.DropObject):
             self.catalog.drop(statement.kind, statement.name, if_exists=statement.if_exists)
             return Result(message=f"{statement.kind} {statement.name} dropped")
@@ -117,6 +138,8 @@ class Database:
         raise SqlError(f"cannot execute {type(statement).__name__}")
 
     def _run_query(self, query: ast.Query, params: Sequence[Any] = ()) -> Result:
+        if self.summaries_enabled and not self._suppress_summaries:
+            query = rewrite_query(self.catalog, query).query
         binder = Binder(self.catalog)
         plan, columns = binder.bind_query_top(query)
         if self.optimizer_enabled:
@@ -180,6 +203,55 @@ class Database:
         )
         return Result(message=f"view {statement.name} created")
 
+    def _create_materialized_view(
+        self, statement: ast.CreateMaterializedView
+    ) -> Result:
+        from repro.storage.table import MemoryTable
+        from repro.types import UNKNOWN, VARCHAR
+
+        key = statement.name.lower()
+        if key in self.catalog and not statement.or_replace:
+            raise CatalogError(f"object {statement.name!r} already exists")
+        definition = analyze_definition(
+            self.catalog, statement.name, statement.query
+        )
+        result = maintenance.compute_rows(self, definition.refresh_query)
+        schema = TableSchema(
+            [
+                Column(c.name, VARCHAR if c.dtype.unwrap() is UNKNOWN else c.dtype.unwrap())
+                for c in result.columns
+            ]
+        )
+        view = MaterializedView(
+            statement.name,
+            MemoryTable(schema),
+            query=statement.query,
+            definition=definition,
+        )
+        count = view.table.insert_many(result.rows)
+        self.catalog.add_materialized_view(
+            statement.name, view, or_replace=statement.or_replace
+        )
+        return Result(
+            rowcount=count,
+            message=f"materialized view {statement.name} created ({count} rows)",
+        )
+
+    def _refresh_materialized_view(
+        self, statement: ast.RefreshMaterializedView
+    ) -> Result:
+        obj = self.catalog.resolve(statement.name)
+        if not isinstance(obj, MaterializedView):
+            raise CatalogError(
+                f"{statement.name!r} is a {obj.kind.lower()}, not a "
+                f"materialized view"
+            )
+        count = maintenance.refresh(self, obj)
+        return Result(
+            rowcount=count,
+            message=f"materialized view {statement.name} refreshed ({count} rows)",
+        )
+
     def _insert(self, statement: ast.Insert, params: Sequence[Any] = ()) -> Result:
         table = self.catalog.base_table(statement.table)
         result = self._run_query(statement.source, params)
@@ -189,6 +261,7 @@ class Database:
             else len(table.schema.columns)
         )
         count = 0
+        before = len(table.table)
         for row in result.rows:
             if len(row) != expected:
                 raise CatalogError(
@@ -199,6 +272,10 @@ class Database:
             else:
                 table.table.insert(row)
             count += 1
+        if count:
+            maintenance.on_insert(
+                self, statement.table, table.table.rows[before:]
+            )
         return Result(rowcount=count, message=f"{count} rows inserted")
 
     def _bind_table_predicate(self, table, where: Optional[ast.Expression]):
@@ -258,6 +335,8 @@ class Database:
                 )
             rows[row_index] = tuple(updated)
             count += 1
+        if count:
+            maintenance.on_mutation(self, statement.table)
         return Result(rowcount=count, message=f"{count} rows updated")
 
     def _delete(self, statement: ast.Delete, params: Sequence[Any] = ()) -> Result:
@@ -271,21 +350,30 @@ class Database:
                 if index not in doomed
             ]
             table.table.rows[:] = kept
+            maintenance.on_mutation(self, statement.table)
         return Result(rowcount=len(doomed), message=f"{len(doomed)} rows deleted")
 
     def _explain(self, statement: ast.ExplainPlan) -> Result:
         from repro.plan.logical import plan_tree_string
         from repro.types import VARCHAR
 
+        query = statement.query
+        summary_lines: list[str] = []
+        if self.summaries_enabled and not self._suppress_summaries:
+            # record=False: EXPLAIN reports the decision without inflating
+            # the per-view hit/reject counters.
+            outcome = rewrite_query(self.catalog, query, record=False)
+            summary_lines = outcome.explain_lines()
+            query = outcome.query
         binder = Binder(self.catalog)
-        plan, _ = binder.bind_query_top(statement.query)
+        plan, _ = binder.bind_query_top(query)
         if self.optimizer_enabled:
             plan = optimize(plan)
-        text = plan_tree_string(plan)
+        lines = summary_lines + plan_tree_string(plan).splitlines()
         return Result(
             columns=[ResultColumn("plan", VARCHAR)],
-            rows=[(line,) for line in text.splitlines()],
-            rowcount=len(text.splitlines()),
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
         )
 
     # -- measure expansion ----------------------------------------------------
@@ -295,8 +383,9 @@ class Database:
 
         ``strategy`` selects the rewrite (paper section 6.4): ``"subquery"``
         (the general correlated-subquery expansion of section 4.2),
-        ``"inline"`` (inline the formula into a simple GROUP BY query), or
-        ``"window"`` (rewrite to window aggregates, section 5.1).
+        ``"inline"`` (inline the formula into a simple GROUP BY query),
+        ``"window"`` (rewrite to window aggregates, section 5.1), or
+        ``"auto"`` (try inline, then window, then fall back to subquery).
         """
         statement = parse_statement(sql)
         if isinstance(statement, ast.ExplainExpand):
@@ -332,6 +421,18 @@ class Database:
         """Sorted names of every table and view in the catalog."""
         return self.catalog.names()
 
+    def summary_stats(self) -> dict:
+        """Per-materialized-view observability counters.
+
+        Maps view name to hit/reject/stale-skip/refresh counters plus the
+        current staleness flag — the numbers EXPLAIN's ``summary:`` lines
+        are drawn from.
+        """
+        return {
+            view.name: {**view.stats.as_dict(), "stale": view.stale}
+            for view in self.catalog.materialized_views()
+        }
+
     def describe(self, name: str) -> dict:
         """Structured metadata for a table or view.
 
@@ -344,6 +445,31 @@ class Database:
         from repro.catalog.objects import BaseTable
 
         obj = self.catalog.resolve(name)
+        if isinstance(obj, MaterializedView):
+            visible = [
+                c for c in obj.schema.columns if not c.name.startswith("__")
+            ]
+            dimension_names = {d.name.lower() for d in obj.definition.dimensions}
+            return {
+                "name": obj.name,
+                "kind": "materialized view",
+                "source": obj.definition.source_name,
+                "stale": obj.stale,
+                "rows": len(obj.table),
+                "columns": [
+                    {
+                        "name": c.name,
+                        "type": str(c.dtype),
+                        "measure": c.name.lower() not in dimension_names,
+                    }
+                    for c in visible
+                ],
+                "dimensions": [d.name for d in obj.definition.dimensions],
+                "measures": [
+                    {"name": m.name, "rollup": m.kind}
+                    for m in obj.definition.measures
+                ],
+            }
         if isinstance(obj, BaseTable):
             return {
                 "name": obj.name,

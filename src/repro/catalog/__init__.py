@@ -1,7 +1,15 @@
 """Catalog: named tables and views, schemas, and DDL bookkeeping."""
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.objects import BaseTable, CatalogObject, View
+from repro.catalog.objects import BaseTable, CatalogObject, MaterializedView, View
 from repro.catalog.schema import Column, TableSchema
 
-__all__ = ["BaseTable", "Catalog", "CatalogObject", "Column", "TableSchema", "View"]
+__all__ = [
+    "BaseTable",
+    "Catalog",
+    "CatalogObject",
+    "Column",
+    "MaterializedView",
+    "TableSchema",
+    "View",
+]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.catalog.objects import BaseTable, CatalogObject, View
+from repro.catalog.objects import BaseTable, CatalogObject, MaterializedView, View
 from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
 from repro.sql import ast
@@ -53,7 +53,9 @@ class Catalog:
         if key in self._objects:
             if if_not_exists:
                 existing = self._objects[key]
-                if isinstance(existing, BaseTable):
+                if isinstance(existing, BaseTable) and not isinstance(
+                    existing, MaterializedView
+                ):
                     return existing
                 raise CatalogError(f"{name!r} exists and is not a table")
             if not or_replace:
@@ -78,8 +80,35 @@ class Catalog:
         self._objects[key] = view
         return view
 
+    def add_materialized_view(
+        self, name: str, view: MaterializedView, *, or_replace: bool = False
+    ) -> MaterializedView:
+        """Register a materialized summary table built by the engine."""
+        key = name.lower()
+        if key in self._objects and not or_replace:
+            raise CatalogError(f"object {name!r} already exists")
+        self._objects[key] = view
+        return view
+
+    def materialized_views(self) -> list[MaterializedView]:
+        """All materialized views, in name order."""
+        return sorted(
+            (o for o in self._objects.values() if isinstance(o, MaterializedView)),
+            key=lambda o: o.name.lower(),
+        )
+
+    def materialized_views_over(self, source_name: str) -> list[MaterializedView]:
+        """Materialized views whose FROM relation is ``source_name``."""
+        key = source_name.lower()
+        return [v for v in self.materialized_views() if v.definition.source_name == key]
+
+    def materialized_views_depending_on(self, table_name: str) -> list[MaterializedView]:
+        """Materialized views that (transitively) read ``table_name``."""
+        key = table_name.lower()
+        return [v for v in self.materialized_views() if key in v.definition.depends_on]
+
     def drop(self, kind: str, name: str, *, if_exists: bool = False) -> bool:
-        """Drop a TABLE or VIEW; the kind must match the object."""
+        """Drop a TABLE, VIEW, or MATERIALIZED VIEW; the kind must match."""
         key = name.lower()
         obj = self._objects.get(key)
         if obj is None:
@@ -94,6 +123,11 @@ class Catalog:
     def base_table(self, name: str) -> BaseTable:
         """Resolve ``name`` and require it to be a base table (DML targets)."""
         obj = self.resolve(name)
+        if isinstance(obj, MaterializedView):
+            raise CatalogError(
+                f"{name!r} is a materialized view; use REFRESH MATERIALIZED "
+                f"VIEW instead of DML"
+            )
         if not isinstance(obj, BaseTable):
             raise CatalogError(f"{name!r} is not a base table")
         return obj

@@ -1,19 +1,28 @@
-"""Catalog objects: base tables and views.
+"""Catalog objects: base tables, views, and materialized summary tables.
 
 A view stores its defining query AST; binding happens lazily each time the
 view is referenced, so views compose (views over views over tables) and views
 may define measures with ``AS MEASURE``.
+
+A materialized view stores *rows* — a precomputed summary table — plus the
+analyzed definition the rewriter needs to decide subsumption.  It subclasses
+:class:`BaseTable` so the binder and executor scan it like any stored table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.catalog.schema import TableSchema
 from repro.sql import ast
 from repro.storage.table import MemoryTable
 
-__all__ = ["BaseTable", "View", "CatalogObject"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.matview.definition import SummaryDefinition
+    from repro.matview.stats import SummaryStats
+
+__all__ = ["BaseTable", "MaterializedView", "View", "CatalogObject"]
 
 
 @dataclass
@@ -45,4 +54,31 @@ class View:
         return "VIEW"
 
 
-CatalogObject = BaseTable | View
+@dataclass
+class MaterializedView(BaseTable):
+    """A persistent summary table with its analyzed definition.
+
+    ``table`` holds the materialized rows (dimensions, visible aggregates,
+    and hidden AVG companion columns).  ``definition`` carries what the
+    rewriter needs: source relation, dimension keys, per-measure roll-up
+    kinds, and WHERE conjuncts.  ``stale`` flips on DML against any table in
+    ``definition.depends_on``; stale summaries are skipped until refreshed.
+    """
+
+    query: ast.Query = None  # definition as written (for SHOW/describe)
+    definition: "SummaryDefinition" = None
+    stale: bool = False
+    stats: "SummaryStats" = None
+
+    def __post_init__(self) -> None:
+        if self.stats is None:
+            from repro.matview.stats import SummaryStats
+
+            self.stats = SummaryStats()
+
+    @property
+    def kind(self) -> str:
+        return "MATERIALIZED VIEW"
+
+
+CatalogObject = BaseTable | View | MaterializedView

@@ -3,16 +3,18 @@
 Run with ``python -m repro [script.sql ...]``.  Statements end with ``;``.
 Backslash meta-commands:
 
-========================  ====================================================
-``\\q``                    quit
-``\\d``                    list tables and views
-``\\d NAME``               describe a table or view (columns, measures)
-``\\timing``               toggle per-statement timing
-``\\expand QUERY``         show the measure-free SQL a query expands to
-``\\i FILE``               execute a SQL script file
-``\\load TABLE FILE.csv``  create TABLE from a CSV file
-``\\demo``                 load the paper's Customers/Orders tables
-========================  ====================================================
+=========================  ===================================================
+``\\q``                     quit
+``\\d``                     list tables and views
+``\\d NAME``                describe a table or view (columns, measures)
+``\\timing``                toggle per-statement timing
+``\\expand [STRAT:] QUERY`` show the measure-free SQL a query expands to
+                           (STRAT: subquery, inline, window, or auto)
+``\\matviews``              list materialized views with staleness and stats
+``\\i FILE``                execute a SQL script file
+``\\load TABLE FILE.csv``   create TABLE from a CSV file
+``\\demo``                  load the paper's Customers/Orders tables
+=========================  ===================================================
 """
 
 from __future__ import annotations
@@ -33,13 +35,17 @@ Type SQL ending with ';', or \\? for help.
 _HELP = """Meta commands:
   \\q                 quit
   \\d                 list tables and views
-  \\d NAME            describe a table or view
+  \\d NAME            describe a table, view, or materialized view
   \\timing            toggle timing
-  \\expand QUERY;     print the measure-free expansion of QUERY
+  \\expand [S:] QUERY; print the measure-free expansion of QUERY using
+                     strategy S (subquery, inline, window, auto)
+  \\matviews          list materialized views (staleness, hit/miss stats)
   \\i FILE            run a SQL script
   \\load TABLE FILE   load a CSV file into a new table
   \\demo              load the paper's example tables
 """
+
+_EXPAND_STRATEGIES = ("subquery", "inline", "window", "auto")
 
 
 class Shell:
@@ -97,10 +103,17 @@ class Shell:
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
         elif command == "\\expand":
+            strategy = "subquery"
+            prefix, colon, rest = argument.partition(":")
+            if colon and prefix.strip().lower() in _EXPAND_STRATEGIES:
+                strategy = prefix.strip().lower()
+                argument = rest.strip()
             try:
-                self.write(self.db.expand(argument))
+                self.write(self.db.expand(argument, strategy=strategy))
             except SqlError as exc:
                 self.write(f"error: {exc}")
+        elif command == "\\matviews":
+            self.list_matviews()
         elif command == "\\i":
             self.run_script_file(argument)
         elif command == "\\load":
@@ -132,11 +145,29 @@ class Shell:
             return
         for name in names:
             obj = self.db.catalog.resolve(name)
-            self.write(f"  {obj.kind.lower():5s} {obj.name}")
+            self.write(f"  {obj.kind.lower():17s} {obj.name}")
+
+    def list_matviews(self) -> None:
+        """Print every materialized view with staleness and usage counters."""
+        views = self.db.catalog.materialized_views()
+        if not views:
+            self.write("(no materialized views)")
+            return
+        for view in views:
+            state = "STALE" if view.stale else "fresh"
+            stats = view.stats
+            dims = ", ".join(d.name for d in view.definition.dimensions)
+            self.write(
+                f"  {view.name} over {view.definition.source_name} "
+                f"({dims}) [{state}] hits={stats.hits} rejects={stats.rejects} "
+                f"stale_skips={stats.stale_skips} refreshes={stats.refreshes}"
+            )
+            if stats.last_reject_reason:
+                self.write(f"    last reject: {stats.last_reject_reason}")
 
     def describe(self, name: str) -> None:
         """Print one object's columns, row count, and measures."""
-        from repro.catalog.objects import BaseTable
+        from repro.catalog.objects import BaseTable, MaterializedView
         from repro.errors import CatalogError
         from repro.semantics.binder import Binder
 
@@ -144,6 +175,25 @@ class Shell:
             obj = self.db.catalog.resolve(name)
         except CatalogError as exc:
             self.write(f"error: {exc}")
+            return
+        if isinstance(obj, MaterializedView):
+            state = "stale" if obj.stale else "fresh"
+            self.write(
+                f"materialized view {obj.name} over "
+                f"{obj.definition.source_name} ({len(obj.table)} rows, {state})"
+            )
+            dimension_names = {d.name.lower() for d in obj.definition.dimensions}
+            rollups = {m.name.lower(): m.kind for m in obj.definition.measures}
+            for column in obj.schema.columns:
+                if column.name.startswith("__"):
+                    continue
+                key = column.name.lower()
+                note = (
+                    "dimension"
+                    if key in dimension_names
+                    else f"rollup: {rollups.get(key, '?')}"
+                )
+                self.write(f"  {column.name:20s} {column.dtype}  {note}")
             return
         if isinstance(obj, BaseTable):
             self.write(f"table {obj.name} ({len(obj.table)} rows)")

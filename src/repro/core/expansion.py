@@ -55,6 +55,17 @@ def expand_to_sql(db: "Database", query: ast.Query, *, strategy: str = "subquery
 def expand_query_ast(
     db: "Database", query: ast.Query, *, strategy: str = "subquery"
 ) -> ast.Query:
+    if strategy == "auto":
+        # Cheapest shape first: inline produces a plain GROUP BY, window a
+        # single-pass window query, subquery the general (but correlated)
+        # form.  The specialized strategies reject unsupported shapes with
+        # UnsupportedError, so the cascade is safe.
+        for candidate in ("inline", "window"):
+            try:
+                return expand_query_ast(db, query, strategy=candidate)
+            except UnsupportedError:
+                continue
+        return expand_query_ast(db, query, strategy="subquery")
     if strategy == "subquery":
         return Expander(db).expand_query(copy.deepcopy(query))
     if strategy == "inline":

@@ -62,3 +62,8 @@ class MeasureError(BindError):
 
 class UnsupportedError(SqlError):
     """Raised for syntactically valid SQL that this engine does not implement."""
+
+
+class InternalError(SqlError):
+    """Raised when an engine invariant breaks (e.g. the plan optimizer fails
+    to reach a fixpoint).  Always a bug in the engine, never user error."""

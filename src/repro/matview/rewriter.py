@@ -1,0 +1,301 @@
+"""Subsumption matching: answer grouped queries from a summary table.
+
+Given a parsed query, :func:`rewrite_query` looks for a fresh materialized
+view over the same FROM relation whose dimensions cover the query's grouping
+columns and whose stored aggregates can be re-aggregated to the query's
+grain.  On a match the query is rewritten — *before* measure expansion or
+binding — into a plain GROUP BY over the summary table:
+
+* grouping expressions become references to the summary's dimension columns;
+* ``SUM``/``COUNT``/``MIN``/``MAX`` aggregates (and ``AGGREGATE(m)`` over
+  such measures) become roll-ups of the stored partials;
+* ``AVG`` becomes ``SUM(sum)/SUM(count)`` over hidden companion columns;
+* ``OPAQUE`` aggregates match only when the grouping equals the summary's
+  dimensions exactly (each output group is a single summary row).
+
+The WHERE clause is matched by conjunct subsumption: every conjunct of the
+summary's definition must appear verbatim (canonically) in the query, and the
+query's remaining conjuncts must be expressible over the dimensions alone.
+
+Every candidate consulted produces a :class:`CandidateReport` so EXPLAIN can
+show why a summary was or was not used.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.catalog.objects import MaterializedView
+from repro.matview.definition import (
+    SummaryMeasure,
+    canonical,
+    split_conjuncts,
+)
+from repro.sql import ast
+from repro.sql.visitor import find_all, transform_topdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog import Catalog
+
+__all__ = ["CandidateReport", "RewriteOutcome", "rewrite_query"]
+
+
+@dataclass
+class CandidateReport:
+    """Why one candidate summary was used, skipped, or rejected."""
+
+    view: str
+    status: str  # "hit" | "stale" | "rejected"
+    reason: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.status == "hit":
+            return f"answered from materialized view {self.view}"
+        if self.status == "stale":
+            return f"candidate {self.view} skipped: stale (REFRESH to re-enable)"
+        return f"candidate {self.view} rejected: {self.reason}"
+
+
+@dataclass
+class RewriteOutcome:
+    """Result of one rewrite attempt."""
+
+    query: ast.Query  # rewritten query, or the original when no hit
+    used: Optional[MaterializedView] = None
+    reports: list[CandidateReport] = field(default_factory=list)
+
+    @property
+    def rewritten(self) -> bool:
+        return self.used is not None
+
+    def explain_lines(self) -> list[str]:
+        return [f"summary: {r.describe()}" for r in self.reports]
+
+
+class _NoMatch(Exception):
+    """Raised inside translation when the candidate cannot answer the query."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def rewrite_query(
+    catalog: "Catalog", query: ast.Query, *, record: bool = True
+) -> RewriteOutcome:
+    """Try to answer ``query`` from a materialized summary table.
+
+    ``record=False`` (used by EXPLAIN) leaves the per-view hit/reject
+    counters untouched while still producing candidate reports.
+    """
+    if not isinstance(query, ast.Select):
+        return RewriteOutcome(query)
+    if not isinstance(query.from_clause, ast.TableName):
+        return RewriteOutcome(query)
+    candidates = catalog.materialized_views_over(query.from_clause.name)
+    if not candidates:
+        return RewriteOutcome(query)
+
+    shape_reason = _unmatchable_shape(query)
+    reports: list[CandidateReport] = []
+    if shape_reason is not None:
+        for view in candidates:
+            reports.append(CandidateReport(view.name, "rejected", shape_reason))
+            if record:
+                view.stats.record_reject(shape_reason)
+        return RewriteOutcome(query, reports=reports)
+
+    # Prefer the smallest covering summary (fewest dimensions).
+    for view in sorted(candidates, key=lambda v: len(v.definition.dimensions)):
+        if view.stale:
+            reports.append(CandidateReport(view.name, "stale"))
+            if record:
+                view.stats.stale_skips += 1
+            continue
+        try:
+            rewritten = _try_rewrite(view, query)
+        except _NoMatch as miss:
+            reports.append(CandidateReport(view.name, "rejected", miss.reason))
+            if record:
+                view.stats.record_reject(miss.reason)
+            continue
+        reports.append(CandidateReport(view.name, "hit"))
+        if record:
+            view.stats.hits += 1
+        return RewriteOutcome(rewritten, used=view, reports=reports)
+    return RewriteOutcome(query, reports=reports)
+
+
+def _unmatchable_shape(select: ast.Select) -> Optional[str]:
+    """A reason this query can never be answered from a summary, or None."""
+    if select.distinct:
+        return "query uses SELECT DISTINCT"
+    if select.qualify is not None:
+        return "query uses QUALIFY"
+    if select.windows:
+        return "query uses a WINDOW clause"
+    for element in select.group_by:
+        if not isinstance(element, ast.SimpleGrouping):
+            return "query uses grouping sets (ROLLUP/CUBE/GROUPING SETS)"
+    for node in select.walk():
+        if isinstance(node, ast.Star):
+            return "query selects *"
+        if isinstance(node, ast.At):
+            return "query uses the AT context operator"
+        if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            return "query contains a subquery"
+        if isinstance(node, ast.FunctionCall) and (
+            node.over is not None or node.over_name is not None
+        ):
+            return "query uses a window function"
+    if not select.group_by:
+        # Without GROUP BY the query must be a global aggregate; a plain
+        # row-level SELECT cannot be answered from pre-grouped rows.
+        for item in select.items:
+            if not isinstance(item.expr, ast.FunctionCall):
+                return "query is not an aggregate query"
+    return None
+
+
+def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
+    """Rewrite ``select`` over ``view`` or raise :class:`_NoMatch`."""
+    definition = view.definition
+    dims_by_key = {d.key: d for d in definition.dimensions}
+    measures_by_key = {m.key: m for m in definition.measures}
+
+    # Grouping subsumption: every grouping expression is a stored dimension.
+    group_keys: list[str] = []
+    for element in select.group_by:
+        key = canonical(element.expr)
+        if key not in dims_by_key:
+            raise _NoMatch(f"grouping expression {key} is not a dimension")
+        group_keys.append(key)
+    exact = set(group_keys) == set(dims_by_key)
+
+    # WHERE subsumption: the summary's filter must be part of the query's,
+    # and whatever remains must be answerable over the dimensions.
+    query_conjuncts = split_conjuncts(select.where)
+    query_keys = {canonical(c) for c in query_conjuncts}
+    missing = definition.where_keys - query_keys
+    if missing:
+        raise _NoMatch(
+            f"summary filters on {sorted(missing)[0]} but the query does not"
+        )
+    residual = [
+        c for c in query_conjuncts if canonical(c) not in definition.where_keys
+    ]
+
+    markers: set[int] = set()
+
+    def dim_ref(column: str) -> ast.ColumnRef:
+        ref = ast.ColumnRef((view.name, column))
+        markers.add(id(ref))
+        return ref
+
+    def replace(node: ast.Node) -> Optional[ast.Node]:
+        if not isinstance(node, ast.Expression):
+            return None
+        key = canonical(node)
+        if isinstance(node, ast.FunctionCall):
+            measure = measures_by_key.get(key)
+            if measure is not None:
+                if not measure.rolls_up and not exact:
+                    raise _NoMatch(
+                        f"measure {measure.name} does not roll up "
+                        f"({measure.kind}); grouping must match the summary's "
+                        f"dimensions exactly"
+                    )
+                return _rollup(measure, dim_ref)
+        dim = dims_by_key.get(key)
+        if dim is not None:
+            return dim_ref(dim.name)
+        return None
+
+    def translate(expr: ast.Expression) -> ast.Expression:
+        result = transform_topdown(copy.deepcopy(expr), replace)
+        for ref in find_all(result, ast.ColumnRef):
+            if id(ref) not in markers:
+                raise _NoMatch(
+                    f"expression references {'.'.join(ref.parts)}, which the "
+                    f"summary does not store"
+                )
+        return result
+
+    items = []
+    for item in select.items:
+        if item.is_measure:
+            raise _NoMatch("query defines an AS MEASURE item")
+        items.append(ast.SelectItem(translate(item.expr), item.alias))
+
+    output_aliases = {
+        (item.alias or "").lower() for item in select.items if item.alias
+    }
+
+    def translate_order(expr: ast.Expression) -> ast.Expression:
+        # Ordinals and output-alias references survive the rewrite as-is;
+        # everything else must be expressible over the summary.
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            return copy.deepcopy(expr)
+        if (
+            isinstance(expr, ast.ColumnRef)
+            and len(expr.parts) == 1
+            and expr.name.lower() in output_aliases
+        ):
+            return copy.deepcopy(expr)
+        return translate(expr)
+
+    rewritten = ast.Select(
+        items=items,
+        from_clause=ast.TableName(view.name),
+        where=_conjoin([translate(c) for c in residual]),
+        group_by=[
+            ast.SimpleGrouping(translate(e.expr)) for e in select.group_by
+        ],
+        having=translate(select.having) if select.having is not None else None,
+        order_by=[
+            ast.OrderItem(translate_order(o.expr), o.descending, o.nulls_first)
+            for o in select.order_by
+        ],
+        limit=copy.deepcopy(select.limit),
+        offset=copy.deepcopy(select.offset),
+        force_aggregate=not select.group_by,
+    )
+    return rewritten
+
+
+def _rollup(measure: SummaryMeasure, dim_ref) -> ast.Expression:
+    """The expression that re-aggregates one stored measure column."""
+    if measure.kind == "SUM":
+        return ast.FunctionCall("SUM", [dim_ref(measure.name)])
+    if measure.kind == "COUNT":
+        # SUM over an empty input is NULL but COUNT must be 0 (the global,
+        # no-GROUP-BY grain can see zero summary rows).
+        return ast.FunctionCall(
+            "COALESCE",
+            [
+                ast.FunctionCall("SUM", [dim_ref(measure.name)]),
+                ast.Literal(0),
+            ],
+        )
+    if measure.kind in ("MIN", "MAX"):
+        return ast.FunctionCall(measure.kind, [dim_ref(measure.name)])
+    if measure.kind == "AVG":
+        return ast.FunctionCall(
+            "SAFE_DIVIDE",
+            [
+                ast.FunctionCall("SUM", [dim_ref(measure.sum_column)]),
+                ast.FunctionCall("SUM", [dim_ref(measure.count_column)]),
+            ],
+        )
+    # OPAQUE, exact grouping: each group is exactly one summary row, so any
+    # aggregate that returns that row's value is the identity.
+    return ast.FunctionCall("MIN", [dim_ref(measure.name)])
+
+
+def _conjoin(conjuncts: list[ast.Expression]) -> Optional[ast.Expression]:
+    expr: Optional[ast.Expression] = None
+    for conjunct in conjuncts:
+        expr = conjunct if expr is None else ast.Binary("AND", expr, conjunct)
+    return expr

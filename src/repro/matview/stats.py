@@ -1,0 +1,48 @@
+"""Observability counters for materialized summary tables.
+
+Each :class:`~repro.catalog.objects.MaterializedView` carries one
+:class:`SummaryStats`.  The rewriter, the maintenance hooks, and ``REFRESH``
+update it; ``Database.summary_stats()`` and ``EXPLAIN`` surface it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SummaryStats"]
+
+
+@dataclass
+class SummaryStats:
+    """Per-view counters (one instance per materialized view)."""
+
+    #: Queries answered from this summary.
+    hits: int = 0
+    #: Times this summary was a candidate but did not match the query shape.
+    rejects: int = 0
+    #: Times this summary was skipped because it was stale.
+    stale_skips: int = 0
+    #: Explicit ``REFRESH MATERIALIZED VIEW`` recomputations.
+    refreshes: int = 0
+    #: Insert-only deltas rolled up in place without a full refresh.
+    incremental_merges: int = 0
+    #: DML events that marked this summary stale.
+    invalidations: int = 0
+    #: Why the rewriter most recently rejected this summary, if ever.
+    last_reject_reason: Optional[str] = None
+
+    def record_reject(self, reason: str) -> None:
+        self.rejects += 1
+        self.last_reject_reason = reason
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "rejects": self.rejects,
+            "stale_skips": self.stale_skips,
+            "refreshes": self.refreshes,
+            "incremental_merges": self.incremental_merges,
+            "invalidations": self.invalidations,
+            "last_reject_reason": self.last_reject_reason,
+        }

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SqlError
+from repro.errors import InternalError, SqlError
 from repro.plan import logical as plans
 from repro.semantics import bound as b
 from repro.semantics.correlate import transform_expr
@@ -27,15 +27,24 @@ from repro.types import BOOLEAN, infer_literal_type
 
 __all__ = ["optimize"]
 
+#: Safety valve for the fixpoint loop.  Each pass fires at most one rule per
+#: node, so deep plans legitimately need many passes (e.g. pushing a filter
+#: down one join level per pass), but a rule pair that keeps undoing each
+#: other would loop forever — at this bound we assume that happened.
+MAX_PASSES = 50
+
 
 def optimize(plan: plans.LogicalPlan) -> plans.LogicalPlan:
-    """Apply the rule set bottom-up until a fixpoint (bounded)."""
-    for _ in range(5):
+    """Apply the rule set bottom-up until a fixpoint."""
+    for _ in range(MAX_PASSES):
         new_plan, changed = _rewrite(plan)
         plan = new_plan
         if not changed:
-            break
-    return plan
+            return plan
+    raise InternalError(
+        f"plan optimizer did not reach a fixpoint after {MAX_PASSES} passes; "
+        f"a rewrite rule is oscillating"
+    )
 
 
 def _rewrite(plan: plans.LogicalPlan) -> tuple[plans.LogicalPlan, bool]:

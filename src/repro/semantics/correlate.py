@@ -54,7 +54,10 @@ def _transform_value(value, fn):
             return value
         return new_items
     if isinstance(value, tuple) and any(isinstance(item, b.BoundExpr) for item in value):
-        return tuple(_transform_value(item, fn) for item in value)
+        new_items = tuple(_transform_value(item, fn) for item in value)
+        if all(new is old for new, old in zip(new_items, value)):
+            return value
+        return new_items
     if isinstance(value, b.SortSpec):
         new_expr = transform_expr(value.expr, fn)
         if new_expr is value.expr:

@@ -76,6 +76,8 @@ __all__ = [
     "NamedWindow",
     "ColumnDef",
     "CreateView",
+    "CreateMaterializedView",
+    "RefreshMaterializedView",
     "DropObject",
     "Insert",
     "Update",
@@ -538,8 +540,26 @@ class CreateView(Statement):
 
 
 @dataclass
+class CreateMaterializedView(Statement):
+    """``CREATE MATERIALIZED VIEW name AS SELECT dims..., agg(...)...
+    FROM t GROUP BY dims``: a persistent summary table (Gray et al.'s data
+    cube) the engine can answer subsumed measure queries from."""
+
+    name: str
+    query: Query
+    or_replace: bool = False
+
+
+@dataclass
+class RefreshMaterializedView(Statement):
+    """``REFRESH MATERIALIZED VIEW name``: recompute a stale summary."""
+
+    name: str
+
+
+@dataclass
 class DropObject(Statement):
-    kind: str  # TABLE or VIEW
+    kind: str  # TABLE, VIEW, or MATERIALIZED VIEW
     name: str
     if_exists: bool = False
 

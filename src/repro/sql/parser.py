@@ -154,6 +154,11 @@ class _Parser:
             return ast.Truncate(self.expect_ident("table name"))
         if self.at_keyword("DELETE"):
             return self._delete()
+        if self.at_keyword("REFRESH"):
+            self.advance()
+            self.expect_keyword("MATERIALIZED")
+            self.expect_keyword("VIEW")
+            return ast.RefreshMaterializedView(self.expect_ident("view name"))
         if (
             self.current.type is TokenType.IDENT
             and str(self.current.value).upper() == "EXPLAIN"
@@ -195,6 +200,11 @@ class _Parser:
                     break
             self.expect_operator(")")
             return ast.CreateTable(name, columns, or_replace, if_not_exists)
+        if self.accept_keyword("MATERIALIZED"):
+            self.expect_keyword("VIEW")
+            name = self.expect_ident("view name")
+            self.expect_keyword("AS")
+            return ast.CreateMaterializedView(name, self._query(), or_replace)
         if self.accept_keyword("VIEW"):
             name = self.expect_ident("view name")
             column_names: list[str] = []
@@ -207,7 +217,7 @@ class _Parser:
             self.expect_keyword("AS")
             query = self._query()
             return ast.CreateView(name, query, or_replace, column_names)
-        raise self.error("expected TABLE or VIEW after CREATE")
+        raise self.error("expected TABLE, VIEW or MATERIALIZED VIEW after CREATE")
 
     def _type_name(self) -> str:
         if self.current.type is TokenType.KEYWORD and self.current.text in (
@@ -227,10 +237,13 @@ class _Parser:
         self.expect_keyword("DROP")
         if self.accept_keyword("TABLE"):
             kind = "TABLE"
+        elif self.accept_keyword("MATERIALIZED"):
+            self.expect_keyword("VIEW")
+            kind = "MATERIALIZED VIEW"
         elif self.accept_keyword("VIEW"):
             kind = "VIEW"
         else:
-            raise self.error("expected TABLE or VIEW after DROP")
+            raise self.error("expected TABLE, VIEW or MATERIALIZED VIEW after DROP")
         if_exists = False
         if self.accept_keyword("IF"):
             self.expect_keyword("EXISTS")

@@ -381,6 +381,16 @@ class _Printer:
             f"{self.render(node.query)}"
         )
 
+    def _render_CreateMaterializedView(self, node: ast.CreateMaterializedView) -> str:
+        replace = "OR REPLACE " if node.or_replace else ""
+        return (
+            f"CREATE {replace}MATERIALIZED VIEW {_ident(node.name)} AS "
+            f"{self.render(node.query)}"
+        )
+
+    def _render_RefreshMaterializedView(self, node: ast.RefreshMaterializedView) -> str:
+        return f"REFRESH MATERIALIZED VIEW {_ident(node.name)}"
+
     def _render_DropObject(self, node: ast.DropObject) -> str:
         exists = "IF EXISTS " if node.if_exists else ""
         return f"DROP {node.kind} {exists}{_ident(node.name)}"

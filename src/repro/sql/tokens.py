@@ -48,9 +48,11 @@ KEYWORDS = frozenset(
     ALL AND ANY AS ASC AT BETWEEN BOOLEAN BY CASE CAST CREATE CROSS CUBE
     CURRENT DATE DELETE DESC DISTINCT DROP ELSE END ESCAPE EXCEPT EXISTS
     EXTRACT FALSE FILTER FIRST FOLLOWING FROM FULL GROUP GROUPING HAVING IF
-    IN INNER INSERT INTERSECT INTO IS JOIN LAST LEFT LIKE LIMIT MEASURE NATURAL
+    IN INNER INSERT INTERSECT INTO IS JOIN LAST LEFT LIKE LIMIT MATERIALIZED
+    MEASURE NATURAL
     NOT NULL NULLS OFFSET ON OR ORDER OUTER OVER PARTITION PRECEDING RANGE
-    REPLACE RIGHT ROLLUP ROW ROWS SELECT SET SETS TABLE THEN TRUE UNBOUNDED
+    REFRESH REPLACE RIGHT ROLLUP ROW ROWS SELECT SET SETS TABLE THEN TRUE
+    UNBOUNDED
     UNION UNKNOWN UPDATE USING VALUES VIEW VISIBLE WHEN WHERE WINDOW WITH
     WITHIN AGGREGATE EVAL INTERVAL QUALIFY PIVOT UNPIVOT FOR
     """.split()

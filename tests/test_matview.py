@@ -1,0 +1,402 @@
+"""Materialized summary tables: DDL, subsumption rewriting, roll-up
+correctness (differential against plain expansion), staleness on DML,
+incremental insert maintenance, and observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CatalogError, Database
+from repro.catalog.objects import MaterializedView
+
+ORDERS = [
+    ("A", "x", "2024-01-01", 10, 4),
+    ("A", "y", "2024-01-02", 20, 9),
+    ("A", "y", "2024-02-11", 7, 2),
+    ("B", "x", "2024-02-01", 30, 10),
+    ("B", "y", "2024-02-02", 5, 1),
+    ("C", "z", "2024-03-05", 7, 3),
+    ("C", "x", "2024-03-06", 11, 6),
+]
+
+
+def make_db(*, summaries: bool = True) -> Database:
+    db = Database(summaries=summaries)
+    db.create_table_from_rows(
+        "Orders",
+        [
+            ("prodName", "VARCHAR"),
+            ("custName", "VARCHAR"),
+            ("orderDate", "VARCHAR"),
+            ("revenue", "INTEGER"),
+            ("cost", "INTEGER"),
+        ],
+        ORDERS,
+    )
+    return db
+
+
+@pytest.fixture
+def mdb() -> Database:
+    db = make_db()
+    db.execute(
+        """CREATE MATERIALIZED VIEW prod_cust AS
+           SELECT prodName, custName,
+                  SUM(revenue) AS rev, COUNT(*) AS n,
+                  MIN(revenue) AS lo, MAX(revenue) AS hi,
+                  AVG(revenue) AS avg_rev
+           FROM Orders GROUP BY prodName, custName"""
+    )
+    return db
+
+
+def truth(sql: str) -> list[tuple]:
+    """The same query answered without summaries (differential oracle)."""
+    return make_db(summaries=False).execute(sql).rows
+
+
+def answered_from(db: Database, sql: str, view: str) -> bool:
+    lines = [row[0] for row in db.execute(f"EXPLAIN {sql}").rows]
+    return any(f"answered from materialized view {view}" in line for line in lines)
+
+
+# -- DDL ---------------------------------------------------------------------
+
+
+def test_create_materializes_rows(mdb):
+    view = mdb.catalog.get("prod_cust")
+    assert isinstance(view, MaterializedView)
+    assert len(view.table) == len(truth("SELECT DISTINCT prodName, custName FROM Orders"))
+    assert not view.stale
+
+
+def test_create_rejects_duplicates_and_or_replace(mdb):
+    with pytest.raises(CatalogError):
+        mdb.execute(
+            "CREATE MATERIALIZED VIEW prod_cust AS "
+            "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"
+        )
+    mdb.execute(
+        "CREATE OR REPLACE MATERIALIZED VIEW prod_cust AS "
+        "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"
+    )
+    assert [d.name for d in mdb.catalog.get("prod_cust").definition.dimensions] == [
+        "prodName"
+    ]
+
+
+def test_create_requires_group_by_shape(mdb):
+    for bad in [
+        "SELECT prodName, revenue FROM Orders",  # no aggregate
+        "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName ORDER BY 1",
+        "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY ROLLUP(prodName)",
+        "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName",  # no alias
+    ]:
+        with pytest.raises(CatalogError):
+            mdb.execute(f"CREATE MATERIALIZED VIEW bad AS {bad}")
+
+
+def test_drop_requires_matching_kind(mdb):
+    with pytest.raises(CatalogError):
+        mdb.execute("DROP TABLE prod_cust")
+    with pytest.raises(CatalogError):
+        mdb.execute("DROP VIEW prod_cust")
+    mdb.execute("DROP MATERIALIZED VIEW prod_cust")
+    assert mdb.catalog.get("prod_cust") is None
+
+
+def test_matview_rejects_dml(mdb):
+    with pytest.raises(CatalogError):
+        mdb.execute("INSERT INTO prod_cust VALUES ('A', 'x', 1, 1, 1, 1, 1.0)")
+    with pytest.raises(CatalogError):
+        mdb.execute("DELETE FROM prod_cust")
+
+
+# -- subsumption rewriting, differential against expansion -------------------
+
+ROLLUP_QUERIES = [
+    # exact grouping
+    """SELECT prodName, custName, SUM(revenue), COUNT(*), MIN(revenue),
+              MAX(revenue), AVG(revenue)
+       FROM Orders GROUP BY prodName, custName ORDER BY 1, 2""",
+    # subset grouping: partials re-aggregate
+    """SELECT prodName, SUM(revenue), COUNT(*), MIN(revenue), MAX(revenue),
+              AVG(revenue)
+       FROM Orders GROUP BY prodName ORDER BY prodName""",
+    # global grain
+    "SELECT SUM(revenue), COUNT(*), MIN(revenue), MAX(revenue), AVG(revenue) FROM Orders",
+    # residual WHERE over dimensions only
+    """SELECT custName, SUM(revenue) FROM Orders
+       WHERE prodName <> 'B' GROUP BY custName ORDER BY custName""",
+    # HAVING and ORDER BY translated through the summary
+    """SELECT prodName, SUM(revenue) AS total FROM Orders
+       GROUP BY prodName HAVING SUM(revenue) > 20 ORDER BY total DESC""",
+]
+
+
+@pytest.mark.parametrize("sql", ROLLUP_QUERIES)
+def test_summary_answers_match_expansion(mdb, sql):
+    assert answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_hit_recorded_and_visible_in_stats(mdb):
+    sql = "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName"
+    mdb.execute(sql)
+    stats = mdb.summary_stats()["prod_cust"]
+    assert stats["hits"] == 1
+    assert stats["stale"] is False
+
+
+def test_reject_ungrouped_column(mdb):
+    sql = "SELECT orderDate, SUM(revenue) FROM Orders GROUP BY orderDate"
+    assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+    stats = mdb.summary_stats()["prod_cust"]
+    assert stats["rejects"] == 1
+    assert "orderdate" in stats["last_reject_reason"]
+
+
+def test_reject_unstored_aggregate(mdb):
+    # SUM(cost) is not materialized.
+    sql = "SELECT prodName, SUM(cost) FROM Orders GROUP BY prodName"
+    assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_reject_where_on_non_dimension(mdb):
+    sql = """SELECT prodName, SUM(revenue) FROM Orders
+             WHERE cost > 2 GROUP BY prodName ORDER BY prodName"""
+    assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_where_subsumption_requires_summary_filter(db):
+    db = make_db()
+    db.execute(
+        """CREATE MATERIALIZED VIEW cheap AS
+           SELECT prodName, SUM(revenue) AS r FROM Orders
+           WHERE cost < 5 GROUP BY prodName"""
+    )
+    covered = """SELECT prodName, SUM(revenue) FROM Orders
+                 WHERE cost < 5 GROUP BY prodName ORDER BY prodName"""
+    uncovered = "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName ORDER BY prodName"
+    assert answered_from(db, covered, "cheap")
+    assert not answered_from(db, uncovered, "cheap")
+    assert db.execute(covered).rows == truth(covered)
+    assert db.execute(uncovered).rows == truth(uncovered)
+
+
+def test_smallest_covering_summary_preferred(mdb):
+    mdb.execute(
+        """CREATE MATERIALIZED VIEW by_prod AS
+           SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"""
+    )
+    sql = "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName"
+    assert answered_from(mdb, sql, "by_prod")
+    mdb.execute(sql)
+    assert mdb.summary_stats()["by_prod"]["hits"] == 1
+    assert mdb.summary_stats()["prod_cust"]["hits"] == 0
+
+
+def test_summaries_flag_disables_rewrites():
+    db = make_db(summaries=False)
+    db.execute(
+        """CREATE MATERIALIZED VIEW by_prod AS
+           SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"""
+    )
+    sql = "SELECT prodName, SUM(revenue) FROM Orders GROUP BY prodName"
+    assert not answered_from(db, sql, "by_prod")
+    assert db.summary_stats()["by_prod"]["hits"] == 0
+
+
+# -- AGGREGATE(m) over measure views ----------------------------------------
+
+
+@pytest.fixture
+def measure_mdb() -> Database:
+    db = make_db()
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE rev,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+           FROM Orders"""
+    )
+    db.execute(
+        """CREATE MATERIALIZED VIEW eos AS
+           SELECT prodName, AGGREGATE(rev) AS rev, AGGREGATE(margin) AS margin
+           FROM eo GROUP BY prodName"""
+    )
+    return db
+
+
+def measure_truth(sql: str) -> list[tuple]:
+    db = make_db(summaries=False)
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE rev,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+           FROM Orders"""
+    )
+    return db.execute(sql).rows
+
+
+def test_distributive_measure_classified_and_answered(measure_mdb):
+    kinds = {m.name: m.kind for m in measure_mdb.catalog.get("eos").definition.measures}
+    assert kinds == {"rev": "SUM", "margin": "OPAQUE"}
+    sql = "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName ORDER BY prodName"
+    assert answered_from(measure_mdb, sql, "eos")
+    assert measure_mdb.execute(sql).rows == measure_truth(sql)
+
+
+def test_opaque_measure_exact_grouping_only(measure_mdb):
+    exact = "SELECT prodName, AGGREGATE(margin) FROM eo GROUP BY prodName ORDER BY prodName"
+    assert answered_from(measure_mdb, exact, "eos")
+    assert measure_mdb.execute(exact).rows == measure_truth(exact)
+
+    coarser = "SELECT AGGREGATE(margin) FROM eo"
+    assert not answered_from(measure_mdb, coarser, "eos")
+    assert measure_mdb.execute(coarser).rows == measure_truth(coarser)
+    reason = measure_mdb.summary_stats()["eos"]["last_reject_reason"]
+    assert "does not roll up" in reason
+
+
+# -- DML -> staleness / incremental maintenance ------------------------------
+
+
+def dml_truth(sql_statements: list[str], probe: str) -> list[tuple]:
+    db = make_db(summaries=False)
+    for statement in sql_statements:
+        db.execute(statement)
+    return db.execute(probe).rows
+
+
+PROBE = """SELECT prodName, SUM(revenue), COUNT(*), MIN(revenue),
+                  MAX(revenue), AVG(revenue)
+           FROM Orders GROUP BY prodName ORDER BY prodName"""
+
+
+def test_update_marks_stale_and_falls_back(mdb):
+    dml = "UPDATE Orders SET revenue = 100 WHERE custName = 'x'"
+    mdb.execute(dml)
+    stats = mdb.summary_stats()["prod_cust"]
+    assert stats["stale"] is True
+    assert stats["invalidations"] == 1
+    assert not answered_from(mdb, PROBE, "prod_cust")
+    assert mdb.execute(PROBE).rows == dml_truth([dml], PROBE)
+    assert mdb.summary_stats()["prod_cust"]["stale_skips"] == 1
+
+
+def test_delete_marks_stale_and_falls_back(mdb):
+    dml = "DELETE FROM Orders WHERE prodName = 'B'"
+    mdb.execute(dml)
+    assert mdb.summary_stats()["prod_cust"]["stale"] is True
+    assert mdb.execute(PROBE).rows == dml_truth([dml], PROBE)
+
+
+def test_truncate_marks_stale(mdb):
+    mdb.execute("TRUNCATE TABLE Orders")
+    assert mdb.summary_stats()["prod_cust"]["stale"] is True
+
+
+def test_unmatched_dml_keeps_views_fresh(mdb):
+    mdb.execute("DELETE FROM Orders WHERE prodName = 'no-such-product'")
+    assert mdb.summary_stats()["prod_cust"]["stale"] is False
+
+
+def test_refresh_restores_hits(mdb):
+    dml = "UPDATE Orders SET revenue = revenue + 1 WHERE prodName = 'A'"
+    mdb.execute(dml)
+    mdb.execute("REFRESH MATERIALIZED VIEW prod_cust")
+    stats = mdb.summary_stats()["prod_cust"]
+    assert stats["stale"] is False
+    assert stats["refreshes"] == 1
+    assert answered_from(mdb, PROBE, "prod_cust")
+    assert mdb.execute(PROBE).rows == dml_truth([dml], PROBE)
+
+
+def test_insert_merges_incrementally(mdb):
+    dml = "INSERT INTO Orders VALUES ('A', 'z', '2024-04-01', 13, 5), ('D', 'q', '2024-04-02', 2, 1)"
+    mdb.execute(dml)
+    stats = mdb.summary_stats()["prod_cust"]
+    assert stats["stale"] is False
+    assert stats["incremental_merges"] == 1
+    assert answered_from(mdb, PROBE, "prod_cust")
+    assert mdb.execute(PROBE).rows == dml_truth([dml], PROBE)
+
+
+def test_insert_invalidates_view_sourced_summaries(measure_mdb):
+    # eos reads the view eo, so an insert into Orders cannot be merged
+    # through the summary's own refresh query over a delta table.
+    measure_mdb.execute("INSERT INTO Orders VALUES ('A', 'z', '2024-04-01', 13, 5)")
+    stats = measure_mdb.summary_stats()["eos"]
+    assert stats["stale"] is True
+    assert stats["incremental_merges"] == 0
+
+
+def test_refresh_view_sourced_summary(measure_mdb):
+    measure_mdb.execute("INSERT INTO Orders VALUES ('A', 'z', '2024-04-01', 13, 5)")
+    measure_mdb.execute("REFRESH MATERIALIZED VIEW eos")
+    sql = "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName ORDER BY prodName"
+    assert answered_from(measure_mdb, sql, "eos")
+    db = make_db(summaries=False)
+    db.execute("INSERT INTO Orders VALUES ('A', 'z', '2024-04-01', 13, 5)")
+    db.execute(
+        """CREATE VIEW eo AS
+           SELECT prodName, custName, SUM(revenue) AS MEASURE rev,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE margin
+           FROM Orders"""
+    )
+    assert measure_mdb.execute(sql).rows == db.execute(sql).rows
+
+
+def test_refresh_requires_materialized_view(mdb):
+    with pytest.raises(CatalogError):
+        mdb.execute("REFRESH MATERIALIZED VIEW Orders")
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_explain_reports_rejection_reason(mdb):
+    lines = [
+        row[0]
+        for row in mdb.execute(
+            "EXPLAIN SELECT orderDate, SUM(revenue) FROM Orders GROUP BY orderDate"
+        ).rows
+    ]
+    assert any("candidate prod_cust rejected" in line for line in lines)
+    # EXPLAIN must not inflate the counters.
+    assert mdb.summary_stats()["prod_cust"]["rejects"] == 0
+
+
+def test_describe_materialized_view(mdb):
+    info = mdb.describe("prod_cust")
+    assert info["kind"] == "materialized view"
+    assert info["source"] == "orders"
+    assert info["stale"] is False
+    assert info["dimensions"] == ["prodName", "custName"]
+    assert {m["name"]: m["rollup"] for m in info["measures"]} == {
+        "rev": "SUM",
+        "n": "COUNT",
+        "lo": "MIN",
+        "hi": "MAX",
+        "avg_rev": "AVG",
+    }
+    # hidden AVG companion columns stay hidden
+    assert all(not c["name"].startswith("__") for c in info["columns"])
+
+
+def test_printer_round_trips_ddl():
+    from repro.sql import parse_statement
+    from repro.sql.printer import to_sql
+
+    sql = (
+        "CREATE MATERIALIZED VIEW m AS SELECT prodName, SUM(revenue) AS r "
+        "FROM Orders GROUP BY prodName"
+    )
+    assert to_sql(parse_statement(to_sql(parse_statement(sql)))) == to_sql(
+        parse_statement(sql)
+    )
+    refresh = "REFRESH MATERIALIZED VIEW m"
+    assert to_sql(parse_statement(refresh)) == refresh

@@ -124,3 +124,55 @@ def test_pushdown_reduces_join_work(pdb):
     assert run(pdb, raw) == run(pdb, opt)
     join = next(p for p in opt.walk() if isinstance(p, plans.Join))
     assert isinstance(join.left, plans.Filter)
+
+
+def _deep_join_sql(levels: int) -> str:
+    """A left-deep join chain with a top-level filter on the deepest table.
+
+    Filter pushdown moves the predicate one join level per optimizer pass,
+    so ``levels`` joins need roughly ``levels`` passes to converge — well
+    past the old hard-coded 5-iteration cutoff.
+    """
+    joins = " ".join(
+        f"JOIN Customers AS c{i} ON o.custName = c{i}.custName"
+        for i in range(levels)
+    )
+    return f"SELECT 1 FROM Orders AS o {joins} WHERE o.revenue > 6"
+
+
+def test_fixpoint_reached_on_deep_join_chains(pdb):
+    """optimize() used to stop silently after 5 passes, leaving the filter
+    stranded mid-chain; it must now iterate to an actual fixpoint."""
+    from repro.plan.optimizer import _rewrite
+
+    sql = _deep_join_sql(8)
+    optimized = optimize(plan_of(pdb, sql))
+    _, changed = _rewrite(optimized)
+    assert not changed, "optimize() returned before reaching a fixpoint"
+    # The pushed-down filter sits directly on the Orders scan.
+    scans = [p for p in optimized.walk() if isinstance(p, plans.Scan)]
+    assert scans, "expected Scan nodes"
+    assert run(pdb, optimized) == run(pdb, plan_of(pdb, sql))
+
+
+def test_fixpoint_cap_raises_internal_error(pdb, monkeypatch):
+    from repro import InternalError
+    from repro.plan import optimizer as opt_module
+
+    monkeypatch.setattr(opt_module, "MAX_PASSES", 1)
+    with pytest.raises(InternalError):
+        optimize(plan_of(pdb, _deep_join_sql(8)))
+
+
+def test_fixpoint_with_case_expressions(pdb):
+    """CASE predicates used to be rebuilt (identically) every pass because
+    tuple-valued WHEN arms lost node identity in transform_expr, so the loop
+    never observed convergence."""
+    sql = """SELECT CASE prodName WHEN 'Acme' THEN 'a' ELSE 'b' END
+             FROM Orders WHERE revenue = 5"""
+    optimized = optimize(plan_of(pdb, sql))
+    from repro.plan.optimizer import _rewrite
+
+    _, changed = _rewrite(optimized)
+    assert not changed
+    assert run(pdb, optimized) == run(pdb, plan_of(pdb, sql))

@@ -120,6 +120,40 @@ def test_unknown_strategy_rejected(sdb):
         sdb.expand("SELECT 1", strategy="quantum")
 
 
+def test_auto_prefers_inline(sdb):
+    sql = "SELECT prodName, AGGREGATE(margin) AS m FROM eo GROUP BY prodName ORDER BY prodName"
+    auto = sdb.expand(sql, strategy="auto")
+    assert auto == sdb.expand(sql, strategy="inline")
+    assert sdb.execute(auto).rows == sdb.execute(sql).rows
+
+
+def test_auto_falls_back_to_window(sdb):
+    # A row-grain AT query: inline refuses (no GROUP BY aggregate shape),
+    # window handles it.
+    sql = """SELECT o.prodName, o.orderDate FROM
+             (SELECT prodName, orderDate, revenue, AVG(revenue) AS MEASURE avgRevenue
+              FROM Orders) AS o
+             WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
+             ORDER BY 1, 2"""
+    auto = sdb.expand(sql, strategy="auto")
+    assert auto == sdb.expand(sql, strategy="window")
+    assert sdb.execute(auto).rows == sdb.execute(sql).rows
+
+
+def test_auto_falls_back_to_subquery(sdb):
+    # AT (ALL) in an aggregate query: both specialized strategies refuse,
+    # the general correlated-subquery expansion handles it.
+    sql = """SELECT prodName, rev AT (ALL) AS total FROM eo
+             GROUP BY prodName ORDER BY prodName"""
+    with pytest.raises(UnsupportedError):
+        sdb.expand(sql, strategy="inline")
+    with pytest.raises(UnsupportedError):
+        sdb.expand(sql, strategy="window")
+    auto = sdb.expand(sql, strategy="auto")
+    assert auto == sdb.expand(sql, strategy="subquery")
+    assert sdb.execute(auto).rows == sdb.execute(sql).rows
+
+
 def test_multi_agg_formula_becomes_multiple_window_calls(sdb):
     """(SUM(revenue)-SUM(cost))/SUM(revenue) needs each aggregate windowed."""
     sql = """SELECT prodName, margin AT (WHERE prodName = eo.prodName) AS m
