@@ -116,7 +116,13 @@ class Database:
         if isinstance(statement, ast.RefreshMaterializedView):
             return self._refresh_materialized_view(statement)
         if isinstance(statement, ast.DropObject):
-            self.catalog.drop(statement.kind, statement.name, if_exists=statement.if_exists)
+            dropped = self.catalog.drop(
+                statement.kind, statement.name, if_exists=statement.if_exists
+            )
+            if dropped:
+                # Summaries reading the dropped table/view can no longer be
+                # refreshed or trusted; mark them stale.
+                maintenance.on_mutation(self, statement.name)
             return Result(message=f"{statement.kind} {statement.name} dropped")
         if isinstance(statement, ast.Insert):
             return self._insert(statement, params)
@@ -161,12 +167,15 @@ class Database:
         schema = TableSchema(
             [Column(c.name, parse_type_name(c.type_name)) for c in statement.columns]
         )
+        replaced = statement.or_replace and statement.name in self.catalog
         self.catalog.create_table(
             statement.name,
             schema,
             or_replace=statement.or_replace,
             if_not_exists=statement.if_not_exists,
         )
+        if replaced:
+            maintenance.on_mutation(self, statement.name)
         return Result(message=f"table {statement.name} created")
 
     def _create_table_as(self, statement: ast.CreateTableAs) -> Result:
@@ -179,10 +188,13 @@ class Database:
                 for c in result.columns
             ]
         )
+        replaced = statement.or_replace and statement.name in self.catalog
         table = self.catalog.create_table(
             statement.name, schema, or_replace=statement.or_replace
         )
         count = table.table.insert_many(result.rows)
+        if replaced:
+            maintenance.on_mutation(self, statement.name)
         return Result(rowcount=count, message=f"table {statement.name} created ({count} rows)")
 
     def _create_view(self, statement: ast.CreateView) -> Result:
@@ -195,36 +207,43 @@ class Database:
                 f"{len(statement.column_names)} columns but its query returns "
                 f"{len(bound.columns)}"
             )
+        replaced = statement.or_replace and statement.name in self.catalog
         self.catalog.create_view(
             statement.name,
             statement.query,
             column_names=statement.column_names,
             or_replace=statement.or_replace,
         )
+        if replaced:
+            # Summaries computed against the old view definition no longer
+            # answer queries over the new one; invalidate every summary
+            # whose source chain includes this view.
+            maintenance.on_mutation(self, statement.name)
         return Result(message=f"view {statement.name} created")
 
     def _create_materialized_view(
         self, statement: ast.CreateMaterializedView
     ) -> Result:
         from repro.storage.table import MemoryTable
-        from repro.types import UNKNOWN, VARCHAR
 
-        key = statement.name.lower()
-        if key in self.catalog and not statement.or_replace:
-            raise CatalogError(f"object {statement.name!r} already exists")
+        existing = self.catalog.get(statement.name)
+        if existing is not None:
+            # Fail before computing any rows; OR REPLACE only replaces
+            # another materialized view (the catalog enforces this too).
+            if not statement.or_replace:
+                raise CatalogError(f"object {statement.name!r} already exists")
+            if not isinstance(existing, MaterializedView):
+                raise CatalogError(
+                    f"{statement.name!r} is a {existing.kind.lower()}, not a "
+                    f"materialized view; OR REPLACE cannot replace it"
+                )
         definition = analyze_definition(
             self.catalog, statement.name, statement.query
         )
         result = maintenance.compute_rows(self, definition.refresh_query)
-        schema = TableSchema(
-            [
-                Column(c.name, VARCHAR if c.dtype.unwrap() is UNKNOWN else c.dtype.unwrap())
-                for c in result.columns
-            ]
-        )
         view = MaterializedView(
             statement.name,
-            MemoryTable(schema),
+            MemoryTable(maintenance.result_schema(result)),
             query=statement.query,
             definition=definition,
         )
@@ -414,8 +433,12 @@ class Database:
         schema = TableSchema(
             [Column(col, parse_type_name(type_name)) for col, type_name in columns]
         )
+        replaced = name in self.catalog
         table = self.catalog.create_table(name, schema, or_replace=True)
-        return table.table.insert_many(rows)
+        count = table.table.insert_many(rows)
+        if replaced:
+            maintenance.on_mutation(self, name)
+        return count
 
     def table_names(self) -> list[str]:
         """Sorted names of every table and view in the catalog."""

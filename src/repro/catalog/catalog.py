@@ -83,10 +83,22 @@ class Catalog:
     def add_materialized_view(
         self, name: str, view: MaterializedView, *, or_replace: bool = False
     ) -> MaterializedView:
-        """Register a materialized summary table built by the engine."""
+        """Register a materialized summary table built by the engine.
+
+        ``OR REPLACE`` only ever replaces another materialized view: silently
+        destroying a base table (and its data) or a plain view that happens
+        to share the name is never what the user meant.
+        """
         key = name.lower()
-        if key in self._objects and not or_replace:
-            raise CatalogError(f"object {name!r} already exists")
+        existing = self._objects.get(key)
+        if existing is not None:
+            if not or_replace:
+                raise CatalogError(f"object {name!r} already exists")
+            if not isinstance(existing, MaterializedView):
+                raise CatalogError(
+                    f"{name!r} is a {existing.kind.lower()}, not a "
+                    f"materialized view; OR REPLACE cannot replace it"
+                )
         self._objects[key] = view
         return view
 
@@ -102,9 +114,10 @@ class Catalog:
         key = source_name.lower()
         return [v for v in self.materialized_views() if v.definition.source_name == key]
 
-    def materialized_views_depending_on(self, table_name: str) -> list[MaterializedView]:
-        """Materialized views that (transitively) read ``table_name``."""
-        key = table_name.lower()
+    def materialized_views_depending_on(self, relation_name: str) -> list[MaterializedView]:
+        """Materialized views that (transitively) read ``relation_name``,
+        which may be a base table or a view in the summary's source chain."""
+        key = relation_name.lower()
         return [v for v in self.materialized_views() if key in v.definition.depends_on]
 
     def drop(self, kind: str, name: str, *, if_exists: bool = False) -> bool:

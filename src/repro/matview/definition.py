@@ -111,7 +111,10 @@ class SummaryDefinition:
     """Everything the catalog needs to store about one summary."""
 
     source_name: str  # lowered name of the FROM relation
-    depends_on: frozenset  # lowered base-table names, transitively
+    #: Lowered names of every relation the summary reads, transitively:
+    #: base tables AND intervening views, so replacing or dropping a view
+    #: in the chain invalidates the summary like table DML does.
+    depends_on: frozenset
     dimensions: list[SummaryDimension]
     measures: list[SummaryMeasure]
     where_keys: frozenset  # canonical text of the definition's WHERE conjuncts
@@ -288,7 +291,10 @@ def _classify_measure(catalog: "Catalog", source: str, measure: str) -> str:
 def _base_dependencies(
     catalog: "Catalog", relation: str, mv_name: str, _seen: Optional[set] = None
 ) -> frozenset:
-    """Base tables a relation reads from, following views transitively."""
+    """Every relation (base table or view) a relation reads, transitively.
+
+    View names are included so that ``CREATE OR REPLACE VIEW`` / ``DROP``
+    on any link of the chain can invalidate dependent summaries."""
     from repro.catalog.objects import MaterializedView
 
     seen = _seen if _seen is not None else set()
@@ -307,7 +313,7 @@ def _base_dependencies(
     if isinstance(obj, BaseTable):
         return frozenset({key})
     assert isinstance(obj, View)
-    found: set[str] = set()
+    found: set[str] = {key}
     for node in obj.query.walk():
         if isinstance(node, ast.TableName):
             found |= _base_dependencies(catalog, node.name, mv_name, seen)

@@ -26,8 +26,9 @@ from repro.types import coerce_value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import Database
+    from repro.catalog.schema import TableSchema
 
-__all__ = ["compute_rows", "on_insert", "on_mutation", "refresh"]
+__all__ = ["compute_rows", "on_insert", "on_mutation", "refresh", "result_schema"]
 
 #: Aggregate kinds whose partials merge with a new partial in place.
 _MERGEABLE = frozenset({"SUM", "COUNT", "MIN", "MAX", "AVG"})
@@ -48,10 +49,36 @@ def compute_rows(db: "Database", view_query: ast.Select):
         db._suppress_summaries = previous
 
 
+def result_schema(result) -> "TableSchema":
+    """A storable schema for a refresh query's result columns."""
+    from repro.catalog.schema import Column, TableSchema
+    from repro.types import UNKNOWN, VARCHAR
+
+    return TableSchema(
+        [
+            Column(
+                c.name,
+                VARCHAR if c.dtype.unwrap() is UNKNOWN else c.dtype.unwrap(),
+            )
+            for c in result.columns
+        ]
+    )
+
+
 def refresh(db: "Database", view: MaterializedView) -> int:
-    """Recompute ``view`` from its sources; returns the new row count."""
+    """Recompute ``view`` from its sources; returns the new row count.
+
+    The definition is re-analyzed first: a source view may have been
+    replaced since creation (which marked this summary stale), changing
+    measure roll-up classifications or even the summary's schema, so the
+    storage table is rebuilt rather than merely reloaded.
+    """
+    from repro.matview.definition import analyze_definition
+    from repro.storage.table import MemoryTable
+
+    view.definition = analyze_definition(db.catalog, view.name, view.query)
     result = compute_rows(db, view.definition.refresh_query)
-    view.table.truncate()
+    view.table = MemoryTable(result_schema(result))
     count = view.table.insert_many(result.rows)
     view.stale = False
     view.stats.refreshes += 1

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.catalog.objects import MaterializedView
+from repro.engine.aggregates import is_aggregate_function
 from repro.matview.definition import (
     SummaryMeasure,
     canonical,
@@ -141,6 +142,9 @@ def _unmatchable_shape(select: ast.Select) -> Optional[str]:
             return "query uses grouping sets (ROLLUP/CUBE/GROUPING SETS)"
     for node in select.walk():
         if isinstance(node, ast.Star):
+            # Select-list * / alias.* only: COUNT(*) carries ``star_arg``
+            # on the FunctionCall and never produces a Star node, so it
+            # stays matchable against a stored COUNT(*) measure.
             return "query selects *"
         if isinstance(node, ast.At):
             return "query uses the AT context operator"
@@ -152,11 +156,28 @@ def _unmatchable_shape(select: ast.Select) -> Optional[str]:
             return "query uses a window function"
     if not select.group_by:
         # Without GROUP BY the query must be a global aggregate; a plain
-        # row-level SELECT cannot be answered from pre-grouped rows.
+        # row-level SELECT cannot be answered from pre-grouped rows.  Only
+        # genuine aggregate calls count — a scalar call like UPPER(region)
+        # keeps the query at row grain.
         for item in select.items:
-            if not isinstance(item.expr, ast.FunctionCall):
+            if not _contains_aggregate(item.expr):
                 return "query is not an aggregate query"
     return None
+
+
+def _is_aggregate_call(node: ast.Node) -> bool:
+    """True for a plain (non-windowed) aggregate call, including the
+    measure operator ``AGGREGATE(m)``."""
+    return (
+        isinstance(node, ast.FunctionCall)
+        and node.over is None
+        and node.over_name is None
+        and (node.name == "AGGREGATE" or is_aggregate_function(node.name))
+    )
+
+
+def _contains_aggregate(expr: ast.Expression) -> bool:
+    return any(_is_aggregate_call(node) for node in expr.walk())
 
 
 def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
@@ -208,6 +229,12 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
                         f"dimensions exactly"
                     )
                 return _rollup(measure, dim_ref)
+            if _is_aggregate_call(node):
+                # Never translate an aggregate the summary does not store:
+                # substituting its arguments would re-run it over pre-grouped
+                # summary rows (e.g. COUNT(region) would count groups, not
+                # base rows).
+                raise _NoMatch(f"aggregate {key} is not stored in the summary")
         dim = dims_by_key.get(key)
         if dim is not None:
             return dim_ref(dim.name)
@@ -223,11 +250,17 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
                 )
         return result
 
+    from repro.semantics.binder import output_column_name
+
     items = []
-    for item in select.items:
+    for index, item in enumerate(select.items):
         if item.is_measure:
             raise _NoMatch("query defines an AS MEASURE item")
-        items.append(ast.SelectItem(translate(item.expr), item.alias))
+        # Carry the original derived column name: the roll-up expression
+        # (e.g. COALESCE(SUM(n), 0) for COUNT) must not rename the output.
+        items.append(
+            ast.SelectItem(translate(item.expr), output_column_name(item, index))
+        )
 
     output_aliases = {
         (item.alias or "").lower() for item in select.items if item.alias

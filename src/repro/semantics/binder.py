@@ -48,7 +48,34 @@ from repro.sql import ast
 from copy import deepcopy as copy_ast
 from repro.types import INTEGER, DataType, MeasureType, UNKNOWN, common_type
 
-__all__ = ["Binder", "BoundRelation", "OutputColumn", "QueryBinder"]
+__all__ = [
+    "Binder",
+    "BoundRelation",
+    "OutputColumn",
+    "QueryBinder",
+    "output_column_name",
+]
+
+
+def output_column_name(item: ast.SelectItem, index: int) -> str:
+    """The result-column name a SELECT item gets when it has no alias.
+
+    Shared with the matview rewriter, which stamps these names onto
+    rewritten items so a summary hit returns the same column names as the
+    normal path (``COUNT(*)`` must not surface as ``coalesce``).
+    """
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name.upper() in ("AGGREGATE", "EVAL") and expr.args and isinstance(
+            expr.args[0], ast.ColumnRef
+        ):
+            return expr.args[0].name
+        return expr.name.lower()
+    return f"col{index + 1}"
 
 
 @dataclass
@@ -852,18 +879,7 @@ class QueryBinder:
         )
 
     def _item_name(self, item: ast.SelectItem, index: int) -> str:
-        if item.alias:
-            return item.alias
-        expr = item.expr
-        if isinstance(expr, ast.ColumnRef):
-            return expr.name
-        if isinstance(expr, ast.FunctionCall):
-            if expr.name.upper() in ("AGGREGATE", "EVAL") and expr.args and isinstance(
-                expr.args[0], ast.ColumnRef
-            ):
-                return expr.args[0].name
-            return expr.name.lower()
-        return f"col{index + 1}"
+        return output_column_name(item, index)
 
     # -- measure-defining queries ---------------------------------------------
 

@@ -137,7 +137,12 @@ ROLLUP_QUERIES = [
 @pytest.mark.parametrize("sql", ROLLUP_QUERIES)
 def test_summary_answers_match_expansion(mdb, sql):
     assert answered_from(mdb, sql, "prod_cust")
-    assert mdb.execute(sql).rows == truth(sql)
+    oracle = make_db(summaries=False).execute(sql)
+    got = mdb.execute(sql)
+    assert got.rows == oracle.rows
+    # identical result-column names too: the roll-up expressions must not
+    # leak into the output (COUNT(*) surfacing as "coalesce").
+    assert [c.name for c in got.columns] == [c.name for c in oracle.columns]
 
 
 def test_hit_recorded_and_visible_in_stats(mdb):
@@ -161,6 +166,52 @@ def test_reject_unstored_aggregate(mdb):
     # SUM(cost) is not materialized.
     sql = "SELECT prodName, SUM(cost) FROM Orders GROUP BY prodName"
     assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_unstored_aggregate_over_dimension_rejected(mdb):
+    # COUNT(custName)'s argument is a stored dimension; translating it would
+    # count summary rows (groups) instead of base rows, so the candidate must
+    # be rejected, never mistranslated.
+    sql = """SELECT prodName, COUNT(custName) FROM Orders
+             GROUP BY prodName ORDER BY prodName"""
+    assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_count_star_not_stored_rejected():
+    db = make_db()
+    db.execute(
+        """CREATE MATERIALIZED VIEW by_prod AS
+           SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"""
+    )
+    sql = "SELECT prodName, COUNT(*) FROM Orders GROUP BY prodName ORDER BY prodName"
+    assert not answered_from(db, sql, "by_prod")
+    assert db.execute(sql).rows == truth(sql)
+
+
+def test_count_star_matches_stored_count_star(mdb):
+    # COUNT(*) parses as star_arg (no Star node), so the shape check must not
+    # reject it and it must match the stored COUNT(*) measure at any grain.
+    for sql in [
+        "SELECT custName, COUNT(*) FROM Orders GROUP BY custName ORDER BY custName",
+        "SELECT COUNT(*) FROM Orders",
+    ]:
+        assert answered_from(mdb, sql, "prod_cust")
+        assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_row_level_scalar_function_not_treated_as_aggregate(mdb):
+    # A no-GROUP-BY query of scalar function calls stays at row grain; it
+    # must bypass summaries entirely, not bind with force_aggregate.
+    sql = "SELECT UPPER(prodName) FROM Orders ORDER BY 1"
+    assert not answered_from(mdb, sql, "prod_cust")
+    assert mdb.execute(sql).rows == truth(sql)
+
+
+def test_global_aggregate_expression_answered(mdb):
+    sql = "SELECT SUM(revenue) + COUNT(*) FROM Orders"
+    assert answered_from(mdb, sql, "prod_cust")
     assert mdb.execute(sql).rows == truth(sql)
 
 
@@ -353,6 +404,73 @@ def test_refresh_view_sourced_summary(measure_mdb):
 def test_refresh_requires_materialized_view(mdb):
     with pytest.raises(CatalogError):
         mdb.execute("REFRESH MATERIALIZED VIEW Orders")
+
+
+# -- DDL on the source chain -> staleness ------------------------------------
+
+
+NEW_EO = """CREATE OR REPLACE VIEW eo AS
+            SELECT prodName, custName, SUM(cost) AS MEASURE rev,
+                   SUM(cost) AS MEASURE margin
+            FROM Orders"""
+
+
+def test_replace_source_view_invalidates_summary(measure_mdb):
+    measure_mdb.execute(NEW_EO)
+    assert measure_mdb.summary_stats()["eos"]["stale"] is True
+    sql = "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName ORDER BY prodName"
+    assert not answered_from(measure_mdb, sql, "eos")
+    oracle = make_db(summaries=False)
+    oracle.execute(NEW_EO.replace("OR REPLACE ", ""))
+    assert measure_mdb.execute(sql).rows == oracle.execute(sql).rows
+
+
+def test_refresh_after_view_replacement_recomputes(measure_mdb):
+    measure_mdb.execute(NEW_EO)
+    measure_mdb.execute("REFRESH MATERIALIZED VIEW eos")
+    sql = "SELECT prodName, AGGREGATE(rev) FROM eo GROUP BY prodName ORDER BY prodName"
+    assert answered_from(measure_mdb, sql, "eos")
+    oracle = make_db(summaries=False)
+    oracle.execute(NEW_EO.replace("OR REPLACE ", ""))
+    assert measure_mdb.execute(sql).rows == oracle.execute(sql).rows
+
+
+def test_drop_source_view_invalidates_summary(measure_mdb):
+    measure_mdb.execute("DROP VIEW eo")
+    assert measure_mdb.summary_stats()["eos"]["stale"] is True
+
+
+def test_replace_source_table_invalidates_summary(mdb):
+    mdb.execute(
+        """CREATE OR REPLACE TABLE Orders (
+               prodName VARCHAR, custName VARCHAR, orderDate VARCHAR,
+               revenue INTEGER, cost INTEGER)"""
+    )
+    assert mdb.summary_stats()["prod_cust"]["stale"] is True
+
+
+def test_reload_source_table_invalidates_summary(mdb):
+    mdb.create_table_from_rows(
+        "Orders", [("prodName", "VARCHAR"), ("revenue", "INTEGER")], [("A", 1)]
+    )
+    assert mdb.summary_stats()["prod_cust"]["stale"] is True
+
+
+def test_or_replace_materialized_view_cannot_replace_other_kinds(mdb):
+    with pytest.raises(CatalogError):
+        mdb.execute(
+            "CREATE OR REPLACE MATERIALIZED VIEW Orders AS "
+            "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"
+        )
+    assert mdb.catalog.resolve("Orders").kind == "TABLE"
+    assert len(mdb.catalog.resolve("Orders").table) == len(ORDERS)
+    mdb.execute("CREATE VIEW plain AS SELECT prodName FROM Orders")
+    with pytest.raises(CatalogError):
+        mdb.execute(
+            "CREATE OR REPLACE MATERIALIZED VIEW plain AS "
+            "SELECT prodName, SUM(revenue) AS r FROM Orders GROUP BY prodName"
+        )
+    assert mdb.catalog.resolve("plain").kind == "VIEW"
 
 
 # -- observability ------------------------------------------------------------
