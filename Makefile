@@ -1,6 +1,6 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test bench report shell examples lint all
+.PHONY: test bench report shell examples lint validate all
 
 test:
 	pytest tests/
@@ -17,4 +17,10 @@ shell:
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo ok; done
 
-all: test bench report examples
+lint:
+	python -m repro.analysis --self-check
+
+validate:
+	REPRO_VALIDATE=1 pytest tests/
+
+all: test lint bench report examples

@@ -40,7 +40,7 @@ print(
     db.execute(
         """SELECT c.y, c.m,
                   s.rev AT (WHERE y = c.y AND m = c.m) AS revenue
-           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales LIMIT 1) AS s
+           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales ORDER BY y, m LIMIT 1) AS s
            ORDER BY c.y, c.m LIMIT 12"""
     ).pretty()
 )
@@ -56,7 +56,7 @@ print(
                     / s.rev AT (WHERE (y = c.y AND m = c.m - 1)
                                 OR (y = c.y - 1 AND m = 12 AND c.m = 1)) - 1
                     AS growth
-           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales LIMIT 1) AS s
+           FROM Calendar AS c CROSS JOIN (SELECT * FROM MonthlySales ORDER BY y, m LIMIT 1) AS s
            WHERE c.y = 2021
            ORDER BY c.y, c.m LIMIT 6"""
     ).pretty()

@@ -1,0 +1,36 @@
+"""Static analysis: lint diagnostics and the plan/IR validator.
+
+Two subsystems share this package:
+
+* the **linter** (:func:`lint_sql`) — RPxxx diagnostics over parsed SQL,
+  surfaced via :meth:`Database.lint`, the shell's ``\\lint`` meta command,
+  and ``EXPLAIN (LINT)``;
+* the **validator** (:func:`validate_plan`) — structural invariant checks
+  over bound logical plans, run after binding and after every optimizer
+  pass when ``REPRO_VALIDATE=1`` (or ``Database(validate=True)``).
+
+``python -m repro.analysis --self-check`` lints the paper listings and the
+bundled examples, which is what ``make lint`` and CI run.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, RULES, Severity
+from repro.analysis.linter import lint_query, lint_sql, lint_statement
+from repro.analysis.validator import (
+    check_plan,
+    plan_fingerprint,
+    validate_plan,
+    validation_enabled,
+)
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "Severity",
+    "check_plan",
+    "lint_query",
+    "lint_sql",
+    "lint_statement",
+    "plan_fingerprint",
+    "validate_plan",
+    "validation_enabled",
+]

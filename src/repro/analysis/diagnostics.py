@@ -1,0 +1,111 @@
+"""Diagnostic objects and the RPxxx code registry.
+
+Every static-analysis finding is a :class:`Diagnostic` carrying a stable
+``RPxxx`` code, a :class:`~repro.sql.ast.Span` locating the offending
+construct in the original SQL text, a human message, and (usually) a hint
+suggesting the fix.  Codes are stable across releases so tests and editor
+integrations can match on them; new rules take new codes rather than reusing
+retired ones.
+
+Severity ordering is ``error > warning > info``.  Errors mean the statement
+will not bind or will not do what it says; warnings flag constructs that run
+but are probably mistakes; info diagnostics are advisory (e.g. the
+summary-matchability advisor explaining why a materialized summary cannot
+answer a query).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.ast import Span
+
+__all__ = ["Diagnostic", "Severity", "RULES", "rule_severity"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values sort first in reports."""
+
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+#: code -> (severity, one-line rule summary).  The catalogue of every rule
+#: the linter can emit; ``docs/STATIC_ANALYSIS.md`` documents each with
+#: examples.
+RULES: dict[str, tuple[Severity, str]] = {
+    "RP001": (Severity.ERROR, "statement does not lex or parse"),
+    "RP002": (Severity.ERROR, "statement does not bind (semantic error)"),
+    "RP101": (
+        Severity.WARNING,
+        "measure referenced at row grain outside AGGREGATE/AT",
+    ),
+    "RP102": (Severity.ERROR, "AT applied to a non-measure expression"),
+    "RP103": (
+        Severity.ERROR,
+        "AT modifier names a column that is not a dimension of the "
+        "measure's source",
+    ),
+    "RP104": (Severity.WARNING, "duplicate or shadowed alias"),
+    "RP105": (Severity.WARNING, "CTE is defined but never referenced"),
+    "RP106": (Severity.ERROR, "aggregate function call in WHERE"),
+    "RP107": (Severity.ERROR, "unqualified column name is ambiguous"),
+    "RP108": (Severity.WARNING, "LIMIT without a deterministic ORDER BY"),
+    "RP109": (Severity.WARNING, "SELECT * in a view or summary definition"),
+    "RP110": (
+        Severity.INFO,
+        "grouped query cannot be answered from a materialized summary",
+    ),
+}
+
+
+def rule_severity(code: str) -> Severity:
+    return RULES[code][0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``span`` is ``None`` only when the problem has no source position at all
+    (e.g. a lexer error at end of input); rules over parsed SQL always carry
+    the span of the offending node.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+
+    @property
+    def line(self) -> int:
+        return self.span.line if self.span else 0
+
+    @property
+    def column(self) -> int:
+        return self.span.column if self.span else 0
+
+    def render(self) -> str:
+        """``error RP106 at line 3, column 7: ... (hint: ...)``"""
+        where = f" at {self.span}" if self.span else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.severity} {self.code}{where}: {self.message}{hint}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_key(diag: Diagnostic) -> tuple:
+    """Severity-major, then source order."""
+    return (-int(diag.severity), diag.line, diag.column, diag.code)
+
+
+def sorted_diagnostics(diags: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(diags, key=sort_key)

@@ -1,0 +1,356 @@
+"""Plan/IR invariant validator.
+
+Checks a bound :class:`~repro.plan.logical.LogicalPlan` for structural
+invariants that must hold after binding and after every optimizer rewrite:
+
+* every operator's schema arity is consistent with its definition
+  (``Project`` emits one column per expression, ``Join`` emits left ++ right,
+  ``Aggregate`` emits keys ++ aggs ++ optional grouping id ++ optional
+  captured rows, ``Window`` appends one column per call, set operations have
+  equal-arity inputs);
+* every :class:`~repro.semantics.bound.BoundColumn` offset is in range for
+  the row the expression is evaluated over — the classic post-rewrite bug is
+  a filter pushed below a join without re-shifting its ordinals;
+* every :class:`~repro.semantics.bound.BoundOuterColumn` resolves to a real
+  enclosing scope (depth no larger than the subquery nesting, offset in range
+  for that scope's row).
+
+Validation is off by default; enable it with ``REPRO_VALIDATE=1`` (any value
+other than ``0``/empty) or per-database with ``Database(validate=True)``.
+When enabled, the optimizer additionally fingerprints the plan between
+passes and raises :class:`~repro.errors.ValidationError` the moment a rule
+claims progress while leaving the plan semantically identical — the
+non-convergence bug class that otherwise surfaces as an opaque
+"fixpoint not reached" :class:`~repro.errors.InternalError` 50 passes later.
+
+The validator never descends into :class:`BoundMeasureEval` nodes: measure
+formulas are evaluated against the measure's *source* plan, not the current
+operator's input row, so their offsets live in a different frame.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.plan import logical as plans
+from repro.semantics import bound as b
+
+__all__ = [
+    "validation_enabled",
+    "validate_plan",
+    "check_plan",
+    "plan_fingerprint",
+]
+
+
+def validation_enabled() -> bool:
+    """True when ``REPRO_VALIDATE`` is set to anything but ``0`` / empty."""
+    return os.environ.get("REPRO_VALIDATE", "") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# Invariant checking
+# ---------------------------------------------------------------------------
+
+
+class _Checker:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def fail(self, where: str, message: str) -> None:
+        self.violations.append(f"{where}: {message}")
+
+    # -- expressions --------------------------------------------------------
+
+    def check_expr(
+        self, expr: Optional[b.BoundExpr], arity: int, outer: list[int], where: str
+    ) -> None:
+        """Check ``expr`` evaluated over a row of ``arity`` columns.
+
+        ``outer`` is the stack of enclosing row arities (innermost last) that
+        a :class:`BoundOuterColumn` of depth ``d`` indexes via ``outer[-d]``.
+        """
+        if expr is None:
+            return
+        if isinstance(expr, b.BoundColumn):
+            if not (0 <= expr.offset < arity):
+                self.fail(
+                    where,
+                    f"BoundColumn offset {expr.offset} out of range "
+                    f"for input arity {arity}",
+                )
+            return
+        if isinstance(expr, b.BoundOuterColumn):
+            if expr.depth < 1 or expr.depth > len(outer):
+                self.fail(
+                    where,
+                    f"BoundOuterColumn depth {expr.depth} exceeds subquery "
+                    f"nesting depth {len(outer)}",
+                )
+            elif not (0 <= expr.offset < outer[-expr.depth]):
+                self.fail(
+                    where,
+                    f"BoundOuterColumn offset {expr.offset} out of range for "
+                    f"enclosing row arity {outer[-expr.depth]} "
+                    f"(depth {expr.depth})",
+                )
+            return
+        if isinstance(expr, b.BoundGroupingId):
+            if not (0 <= expr.grouping_column < arity):
+                self.fail(
+                    where,
+                    f"BoundGroupingId reads column {expr.grouping_column} "
+                    f"but input arity is {arity}",
+                )
+            return
+        if isinstance(expr, b.BoundMeasureEval):
+            # Measure formulas run against the measure's source plan, in a
+            # different column frame; out of scope for this checker.
+            return
+        if isinstance(expr, b.BoundSubquery):
+            if expr.operand is not None:
+                self.check_expr(expr.operand, arity, outer, where)
+            self.check_plan(expr.plan, outer + [arity], where + " > subquery")
+            return
+        for child in expr.children():
+            self.check_expr(child, arity, outer, where)
+
+    # -- operators ----------------------------------------------------------
+
+    def check_plan(
+        self, plan: plans.LogicalPlan, outer: list[int], path: str
+    ) -> None:
+        where = f"{path}/{plan.label()}" if path else plan.label()
+        for child in plan.inputs():
+            self.check_plan(child, outer, where)
+
+        if isinstance(plan, plans.ValuesPlan):
+            for i, row in enumerate(plan.rows):
+                if len(row) != plan.arity:
+                    self.fail(
+                        where,
+                        f"row {i} has {len(row)} cells for arity {plan.arity}",
+                    )
+                for cell in row:
+                    self.check_expr(cell, 0, outer, where)
+        elif isinstance(plan, plans.Filter):
+            if plan.arity != plan.input.arity:
+                self.fail(
+                    where,
+                    f"schema arity {plan.arity} != input arity "
+                    f"{plan.input.arity}",
+                )
+            self.check_expr(plan.predicate, plan.input.arity, outer, where)
+        elif isinstance(plan, plans.Project):
+            if len(plan.exprs) != plan.arity:
+                self.fail(
+                    where,
+                    f"{len(plan.exprs)} expressions for schema arity "
+                    f"{plan.arity}",
+                )
+            for expr in plan.exprs:
+                self.check_expr(expr, plan.input.arity, outer, where)
+        elif isinstance(plan, plans.Join):
+            combined = plan.left.arity + plan.right.arity
+            if plan.arity != combined:
+                self.fail(
+                    where,
+                    f"schema arity {plan.arity} != left+right arity "
+                    f"{combined}",
+                )
+            self.check_expr(plan.condition, combined, outer, where)
+        elif isinstance(plan, plans.Aggregate):
+            expected = (
+                len(plan.group_exprs)
+                + len(plan.agg_calls)
+                + (1 if plan.has_grouping_id else 0)
+                + (1 if plan.capture_rows else 0)
+            )
+            if plan.arity != expected:
+                self.fail(
+                    where,
+                    f"schema arity {plan.arity} != keys+aggs+hidden "
+                    f"{expected}",
+                )
+            for expr in plan.group_exprs:
+                self.check_expr(expr, plan.input.arity, outer, where)
+            for call in plan.agg_calls:
+                self.check_expr(call, plan.input.arity, outer, where)
+            for gset in plan.grouping_sets:
+                for index in gset:
+                    if not (0 <= index < len(plan.group_exprs)):
+                        self.fail(
+                            where,
+                            f"grouping set references key {index} but there "
+                            f"are {len(plan.group_exprs)} group expressions",
+                        )
+        elif isinstance(plan, plans.Window):
+            expected = plan.input.arity + len(plan.calls)
+            if plan.arity != expected:
+                self.fail(
+                    where,
+                    f"schema arity {plan.arity} != input+calls {expected}",
+                )
+            for call in plan.calls:
+                self.check_expr(call, plan.input.arity, outer, where)
+        elif isinstance(plan, plans.Sort):
+            if plan.arity != plan.input.arity:
+                self.fail(
+                    where,
+                    f"schema arity {plan.arity} != input arity "
+                    f"{plan.input.arity}",
+                )
+            for key in plan.keys:
+                self.check_expr(key.expr, plan.input.arity, outer, where)
+        elif isinstance(plan, plans.Limit):
+            self.check_expr(plan.limit, plan.input.arity, outer, where)
+            self.check_expr(plan.offset, plan.input.arity, outer, where)
+        elif isinstance(plan, plans.SetOpPlan):
+            if plan.left.arity != plan.right.arity:
+                self.fail(
+                    where,
+                    f"set operation inputs disagree on arity "
+                    f"({plan.left.arity} vs {plan.right.arity})",
+                )
+
+
+def validate_plan(plan: plans.LogicalPlan, phase: str = "") -> list[str]:
+    """Return every invariant violation in ``plan`` (empty list = valid)."""
+    checker = _Checker()
+    checker.check_plan(plan, [], phase)
+    return checker.violations
+
+
+def check_plan(plan: plans.LogicalPlan, phase: str = "") -> None:
+    """Raise :class:`ValidationError` if ``plan`` breaks any invariant."""
+    violations = validate_plan(plan, phase)
+    if violations:
+        label = phase or "plan"
+        detail = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ValidationError(
+            f"plan validation failed after {label}: {detail}{more}",
+            tuple(violations),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints (optimizer progress detection)
+# ---------------------------------------------------------------------------
+
+
+def _expr_fp(expr: Optional[b.BoundExpr]) -> str:
+    """A structural expression fingerprint.
+
+    Unlike :func:`repro.semantics.bound.fingerprint`, this recurses into
+    subquery plans and window calls instead of falling back to ``id()``, so
+    two structurally identical plans produced by different rewrite passes
+    compare equal.  Measure evaluations hash by measure name and context
+    shape, which is stable across rewrites (rules never rebuild measures).
+    """
+    if expr is None:
+        return "~"
+    if isinstance(expr, b.BoundSubquery):
+        head = "NOTSUBQ" if expr.negated else "SUBQ"
+        refs = ",".join(f"{d}.{o}" for d, o in expr.outer_refs)
+        return (
+            f"{head}[{expr.kind};{_expr_fp(expr.operand)};{refs};"
+            f"{plan_fingerprint(expr.plan)}]"
+        )
+    if isinstance(expr, b.BoundWindowCall):
+        args = ",".join(_expr_fp(a) for a in expr.args)
+        part = ",".join(_expr_fp(p) for p in expr.partition_by)
+        order = ",".join(
+            f"{_expr_fp(s.expr)}:{s.descending}:{s.nulls_first}"
+            for s in expr.order_by
+        )
+        return (
+            f"WIN[{expr.func};{expr.distinct};{expr.star};{args};"
+            f"{part};{order};{expr.frame}]"
+        )
+    if isinstance(expr, b.BoundMeasureEval):
+        return f"MEVAL[{expr.measure.name};{expr.context.fingerprint()}]"
+    if isinstance(expr, b.BoundCase):
+        whens = ",".join(
+            f"{_expr_fp(c)}:{_expr_fp(r)}" for c, r in expr.whens
+        )
+        return f"CASE[{whens};{_expr_fp(expr.else_result)}]"
+    if isinstance(expr, b.BoundAggCall):
+        args = ",".join(_expr_fp(a) for a in expr.args)
+        order = ",".join(_expr_fp(s.expr) for s in expr.order_by)
+        within = ",".join(_expr_fp(k) for k in expr.within_distinct)
+        return (
+            f"AGG[{expr.func};{expr.distinct};{expr.star};{args};"
+            f"{_expr_fp(expr.filter_where)};{order};{within}]"
+        )
+    # Leaves and simple containers: reuse the canonical fingerprint for
+    # anything without an identity-based fallback.
+    if isinstance(
+        expr,
+        (
+            b.BoundLiteral,
+            b.BoundParameter,
+            b.BoundColumn,
+            b.BoundOuterColumn,
+            b.BoundAggRef,
+            b.BoundGroupingId,
+            b.BoundCurrentDim,
+        ),
+    ):
+        return b.fingerprint(expr)
+    if isinstance(expr, b.BoundCall):
+        args = ",".join(_expr_fp(a) for a in expr.args)
+        return f"{expr.op}({args})"
+    if isinstance(expr, b.BoundCast):
+        return f"CAST[{_expr_fp(expr.operand)};{expr.dtype}]"
+    if isinstance(expr, b.BoundInList):
+        items = ",".join(_expr_fp(i) for i in expr.items)
+        return f"IN[{expr.negated};{_expr_fp(expr.operand)};{items}]"
+    return f"{type(expr).__name__}({','.join(_expr_fp(c) for c in expr.children())})"
+
+
+def plan_fingerprint(plan: plans.LogicalPlan) -> str:
+    """A structural fingerprint of a whole plan tree.
+
+    Two plans with equal fingerprints are semantically identical: same
+    operators, same schemas, same expressions (compared structurally, down
+    through subquery plans).  The optimizer compares fingerprints across
+    passes to detect a rewrite rule that claims progress without changing
+    the plan.
+    """
+    parts: list[str] = [plan.label()]
+    if isinstance(plan, plans.Scan):
+        parts.append(plan.table_name)
+    elif isinstance(plan, plans.ValuesPlan):
+        parts.append(
+            "|".join(",".join(_expr_fp(c) for c in row) for row in plan.rows)
+        )
+    elif isinstance(plan, plans.Filter):
+        parts.append(_expr_fp(plan.predicate))
+    elif isinstance(plan, plans.Project):
+        parts.append(",".join(_expr_fp(e) for e in plan.exprs))
+    elif isinstance(plan, plans.Join):
+        parts.append(f"{plan.kind};{_expr_fp(plan.condition)}")
+    elif isinstance(plan, plans.Aggregate):
+        parts.append(",".join(_expr_fp(e) for e in plan.group_exprs))
+        parts.append(",".join(_expr_fp(c) for c in plan.agg_calls))
+        parts.append(repr(plan.grouping_sets))
+        parts.append(f"{plan.has_grouping_id};{plan.capture_rows}")
+    elif isinstance(plan, plans.Window):
+        parts.append(",".join(_expr_fp(c) for c in plan.calls))
+    elif isinstance(plan, plans.Sort):
+        parts.append(
+            ",".join(
+                f"{_expr_fp(k.expr)}:{k.descending}:{k.nulls_first}"
+                for k in plan.keys
+            )
+        )
+    elif isinstance(plan, plans.Limit):
+        parts.append(f"{_expr_fp(plan.limit)};{_expr_fp(plan.offset)}")
+    elif isinstance(plan, plans.SetOpPlan):
+        parts.append(f"{plan.op};{plan.all}")
+    schema = ",".join(f"{name}:{dtype}" for name, dtype in plan.schema)
+    children = ",".join(plan_fingerprint(child) for child in plan.inputs())
+    return f"{'|'.join(parts)}{{{schema}}}({children})"

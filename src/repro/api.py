@@ -56,6 +56,10 @@ class Database:
         Enable answering queries from materialized summary tables (the
         :mod:`repro.matview` rewriter).  Off, summaries can still be
         created and refreshed but are never consulted.
+    validate:
+        Run the :mod:`repro.analysis` plan/IR validator on every bound plan
+        and after every optimizer pass.  Defaults to the ``REPRO_VALIDATE``
+        environment flag; cheap enough for test suites, off for benchmarks.
     """
 
     def __init__(
@@ -64,11 +68,17 @@ class Database:
         cache: bool = True,
         optimizer: bool = True,
         summaries: bool = True,
+        validate: Optional[bool] = None,
     ):
+        from repro.analysis.validator import validation_enabled
+
         self.catalog = Catalog()
         self.cache_enabled = cache
         self.optimizer_enabled = optimizer
         self.summaries_enabled = summaries
+        self.validate_enabled = (
+            validation_enabled() if validate is None else validate
+        )
         #: Internal: True while a refresh/delta query runs, so a summary's
         #: own definition is never answered from the (old) summary itself.
         self._suppress_summaries = False
@@ -149,7 +159,12 @@ class Database:
         binder = Binder(self.catalog)
         plan, columns = binder.bind_query_top(query)
         if self.optimizer_enabled:
-            plan = optimize(plan)
+            # optimize() re-validates the bound plan and every pass itself.
+            plan = optimize(plan, validate=self.validate_enabled)
+        elif self.validate_enabled:
+            from repro.analysis.validator import check_plan
+
+            check_plan(plan, "binding")
         ctx = ExecutionContext(
             self.catalog, enable_cache=self.cache_enabled, params=params
         )
@@ -377,6 +392,14 @@ class Database:
         from repro.types import VARCHAR
 
         query = statement.query
+        lint_lines: list[str] = []
+        if statement.lint:
+            from repro.analysis.linter import lint_query
+
+            lint_lines = [
+                f"lint: {diag.render()}"
+                for diag in lint_query(self.catalog, query)
+            ] or ["lint: clean"]
         summary_lines: list[str] = []
         if self.summaries_enabled and not self._suppress_summaries:
             # record=False: EXPLAIN reports the decision without inflating
@@ -387,13 +410,28 @@ class Database:
         binder = Binder(self.catalog)
         plan, _ = binder.bind_query_top(query)
         if self.optimizer_enabled:
-            plan = optimize(plan)
-        lines = summary_lines + plan_tree_string(plan).splitlines()
+            plan = optimize(plan, validate=self.validate_enabled)
+        lines = lint_lines + summary_lines + plan_tree_string(plan).splitlines()
         return Result(
             columns=[ResultColumn("plan", VARCHAR)],
             rows=[(line,) for line in lines],
             rowcount=len(lines),
         )
+
+    # -- static analysis ------------------------------------------------------
+
+    def lint(self, sql: str) -> list:
+        """Run the static analyzer over ``sql`` without executing it.
+
+        Returns a list of :class:`repro.analysis.Diagnostic` objects, sorted
+        by severity then source position; empty means the statement is
+        clean.  Lexer/parser failures surface as a single ``RP001``
+        diagnostic and semantic (binding) failures as ``RP002`` — lint never
+        raises on bad SQL.
+        """
+        from repro.analysis.linter import lint_sql
+
+        return lint_sql(self.catalog, sql)
 
     # -- measure expansion ----------------------------------------------------
 

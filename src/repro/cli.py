@@ -10,6 +10,7 @@ Backslash meta-commands:
 ``\\timing``                toggle per-statement timing
 ``\\expand [STRAT:] QUERY`` show the measure-free SQL a query expands to
                            (STRAT: subquery, inline, window, or auto)
+``\\lint SQL``              report static-analysis diagnostics for SQL
 ``\\matviews``              list materialized views with staleness and stats
 ``\\i FILE``                execute a SQL script file
 ``\\load TABLE FILE.csv``   create TABLE from a CSV file
@@ -39,6 +40,7 @@ _HELP = """Meta commands:
   \\timing            toggle timing
   \\expand [S:] QUERY; print the measure-free expansion of QUERY using
                      strategy S (subquery, inline, window, auto)
+  \\lint SQL;         report lint diagnostics (RPxxx) without executing
   \\matviews          list materialized views (staleness, hit/miss stats)
   \\i FILE            run a SQL script
   \\load TABLE FILE   load a CSV file into a new table
@@ -112,6 +114,8 @@ class Shell:
                 self.write(self.db.expand(argument, strategy=strategy))
             except SqlError as exc:
                 self.write(f"error: {exc}")
+        elif command == "\\lint":
+            self.lint(argument)
         elif command == "\\matviews":
             self.list_matviews()
         elif command == "\\i":
@@ -146,6 +150,18 @@ class Shell:
         for name in names:
             obj = self.db.catalog.resolve(name)
             self.write(f"  {obj.kind.lower():17s} {obj.name}")
+
+    def lint(self, sql: str) -> None:
+        """Print lint diagnostics for a SQL string (the ``\\lint`` command)."""
+        if not sql:
+            self.write("usage: \\lint SQL;")
+            return
+        diagnostics = self.db.lint(sql)
+        if not diagnostics:
+            self.write("lint: clean")
+            return
+        for diag in diagnostics:
+            self.write(diag.render())
 
     def list_matviews(self) -> None:
         """Print every materialized view with staleness and usage counters."""

@@ -37,7 +37,32 @@ class ParseError(SqlError):
 
 class BindError(SqlError):
     """Raised during semantic analysis: unknown names, ambiguity, misuse of
-    aggregates, invalid measure references, and similar static errors."""
+    aggregates, invalid measure references, and similar static errors.
+
+    Carries the 1-based ``line`` and ``column`` of the offending construct
+    when known (the binder attaches them from AST spans); both are 0 when
+    the error has no source position (e.g. programmatically-built ASTs).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def attach_location(self, line: int, column: int) -> "BindError":
+        """Late-bind a source position onto an already-raised error.
+
+        Used by the binder's dispatch loop: the innermost AST node that
+        carries a span wins, and an error that already has a position keeps
+        it as the exception propagates outward.
+        """
+        if not self.line and line:
+            self.line = line
+            self.column = column
+            self.args = (f"{self.message} at line {line}, column {column}",)
+        return self
 
 
 class CatalogError(SqlError):
@@ -67,3 +92,18 @@ class UnsupportedError(SqlError):
 class InternalError(SqlError):
     """Raised when an engine invariant breaks (e.g. the plan optimizer fails
     to reach a fixpoint).  Always a bug in the engine, never user error."""
+
+
+class ValidationError(InternalError):
+    """Raised by the plan/IR validator (``REPRO_VALIDATE=1``) when a bound or
+    optimized plan violates an engine invariant: schema arity mismatches,
+    dangling column ordinals, impossible correlation depths, or an optimizer
+    rule that claims progress while producing a semantically identical plan.
+
+    ``violations`` lists every individual invariant breach found in the plan
+    that triggered the error.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):
+        super().__init__(message)
+        self.violations = list(violations)

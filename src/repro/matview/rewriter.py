@@ -45,18 +45,26 @@ __all__ = ["CandidateReport", "RewriteOutcome", "rewrite_query"]
 
 @dataclass
 class CandidateReport:
-    """Why one candidate summary was used, skipped, or rejected."""
+    """Why one candidate summary was used, skipped, or rejected.
+
+    ``rule`` names the matchability rule a rejection failed (e.g.
+    ``missing-dimension``, ``non-distributive-aggregate``,
+    ``predicate-not-subsumed``); the lint advisor and the per-view
+    ``reject_reasons`` counters key on it.
+    """
 
     view: str
     status: str  # "hit" | "stale" | "rejected"
     reason: Optional[str] = None
+    rule: Optional[str] = None
 
     def describe(self) -> str:
         if self.status == "hit":
             return f"answered from materialized view {self.view}"
         if self.status == "stale":
             return f"candidate {self.view} skipped: stale (REFRESH to re-enable)"
-        return f"candidate {self.view} rejected: {self.reason}"
+        tag = f" [{self.rule}]" if self.rule else ""
+        return f"candidate {self.view} rejected{tag}: {self.reason}"
 
 
 @dataclass
@@ -76,11 +84,15 @@ class RewriteOutcome:
 
 
 class _NoMatch(Exception):
-    """Raised inside translation when the candidate cannot answer the query."""
+    """Raised inside translation when the candidate cannot answer the query.
 
-    def __init__(self, reason: str) -> None:
+    ``rule`` is the stable matchability-rule slug the reason belongs to.
+    """
+
+    def __init__(self, reason: str, rule: str = "unsupported-shape") -> None:
         super().__init__(reason)
         self.reason = reason
+        self.rule = rule
 
 
 def rewrite_query(
@@ -103,9 +115,13 @@ def rewrite_query(
     reports: list[CandidateReport] = []
     if shape_reason is not None:
         for view in candidates:
-            reports.append(CandidateReport(view.name, "rejected", shape_reason))
+            reports.append(
+                CandidateReport(
+                    view.name, "rejected", shape_reason, "unsupported-shape"
+                )
+            )
             if record:
-                view.stats.record_reject(shape_reason)
+                view.stats.record_reject(shape_reason, "unsupported-shape")
         return RewriteOutcome(query, reports=reports)
 
     # Prefer the smallest covering summary (fewest dimensions).
@@ -118,9 +134,11 @@ def rewrite_query(
         try:
             rewritten = _try_rewrite(view, query)
         except _NoMatch as miss:
-            reports.append(CandidateReport(view.name, "rejected", miss.reason))
+            reports.append(
+                CandidateReport(view.name, "rejected", miss.reason, miss.rule)
+            )
             if record:
-                view.stats.record_reject(miss.reason)
+                view.stats.record_reject(miss.reason, miss.rule)
             continue
         reports.append(CandidateReport(view.name, "hit"))
         if record:
@@ -191,7 +209,10 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
     for element in select.group_by:
         key = canonical(element.expr)
         if key not in dims_by_key:
-            raise _NoMatch(f"grouping expression {key} is not a dimension")
+            raise _NoMatch(
+                f"grouping expression {key} is not a dimension",
+                "missing-dimension",
+            )
         group_keys.append(key)
     exact = set(group_keys) == set(dims_by_key)
 
@@ -202,7 +223,8 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
     missing = definition.where_keys - query_keys
     if missing:
         raise _NoMatch(
-            f"summary filters on {sorted(missing)[0]} but the query does not"
+            f"summary filters on {sorted(missing)[0]} but the query does not",
+            "predicate-not-subsumed",
         )
     residual = [
         c for c in query_conjuncts if canonical(c) not in definition.where_keys
@@ -226,7 +248,8 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
                     raise _NoMatch(
                         f"measure {measure.name} does not roll up "
                         f"({measure.kind}); grouping must match the summary's "
-                        f"dimensions exactly"
+                        f"dimensions exactly",
+                        "non-distributive-aggregate",
                     )
                 return _rollup(measure, dim_ref)
             if _is_aggregate_call(node):
@@ -234,7 +257,10 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
                 # substituting its arguments would re-run it over pre-grouped
                 # summary rows (e.g. COUNT(region) would count groups, not
                 # base rows).
-                raise _NoMatch(f"aggregate {key} is not stored in the summary")
+                raise _NoMatch(
+                    f"aggregate {key} is not stored in the summary",
+                    "missing-aggregate",
+                )
         dim = dims_by_key.get(key)
         if dim is not None:
             return dim_ref(dim.name)
@@ -246,7 +272,8 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
             if id(ref) not in markers:
                 raise _NoMatch(
                     f"expression references {'.'.join(ref.parts)}, which the "
-                    f"summary does not store"
+                    f"summary does not store",
+                    "missing-column",
                 )
         return result
 
@@ -255,7 +282,9 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
     items = []
     for index, item in enumerate(select.items):
         if item.is_measure:
-            raise _NoMatch("query defines an AS MEASURE item")
+            raise _NoMatch(
+                "query defines an AS MEASURE item", "unsupported-shape"
+            )
         # Carry the original derived column name: the roll-up expression
         # (e.g. COALESCE(SUM(n), 0) for COUNT) must not rename the output.
         items.append(

@@ -7,7 +7,7 @@ update it; ``Database.summary_stats()`` and ``EXPLAIN`` surface it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["SummaryStats"]
@@ -31,10 +31,14 @@ class SummaryStats:
     invalidations: int = 0
     #: Why the rewriter most recently rejected this summary, if ever.
     last_reject_reason: Optional[str] = None
+    #: Reject counts per matchability rule (e.g. ``missing-dimension``),
+    #: so the opaque ``rejects`` total can be broken down.
+    reject_reasons: dict[str, int] = field(default_factory=dict)
 
-    def record_reject(self, reason: str) -> None:
+    def record_reject(self, reason: str, rule: str = "unknown") -> None:
         self.rejects += 1
         self.last_reject_reason = reason
+        self.reject_reasons[rule] = self.reject_reasons.get(rule, 0) + 1
 
     def as_dict(self) -> dict:
         return {
@@ -45,4 +49,5 @@ class SummaryStats:
             "incremental_merges": self.incremental_merges,
             "invalidations": self.invalidations,
             "last_reject_reason": self.last_reject_reason,
+            "reject_reasons": dict(self.reject_reasons),
         }

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import InternalError, SqlError
+from repro.errors import InternalError, SqlError, ValidationError
 from repro.plan import logical as plans
 from repro.semantics import bound as b
 from repro.semantics.correlate import transform_expr
@@ -34,13 +34,46 @@ __all__ = ["optimize"]
 MAX_PASSES = 50
 
 
-def optimize(plan: plans.LogicalPlan) -> plans.LogicalPlan:
-    """Apply the rule set bottom-up until a fixpoint."""
-    for _ in range(MAX_PASSES):
+def optimize(
+    plan: plans.LogicalPlan, *, validate: Optional[bool] = None
+) -> plans.LogicalPlan:
+    """Apply the rule set bottom-up until a fixpoint.
+
+    With ``validate`` (default: the ``REPRO_VALIDATE`` environment flag) the
+    plan's structural invariants are checked before the first pass and after
+    every pass, and the fixpoint loop additionally fingerprints the plan
+    between passes: a pass that reports progress while leaving the plan
+    structurally identical is a broken rewrite rule, reported immediately as
+    a :class:`~repro.errors.ValidationError` instead of spinning to the
+    ``MAX_PASSES`` cap and surfacing as an opaque InternalError.
+    """
+    from repro.analysis.validator import (
+        check_plan,
+        plan_fingerprint,
+        validation_enabled,
+    )
+
+    if validate is None:
+        validate = validation_enabled()
+    fp = None
+    if validate:
+        check_plan(plan, "binding")
+        fp = plan_fingerprint(plan)
+    for pass_number in range(1, MAX_PASSES + 1):
         new_plan, changed = _rewrite(plan)
         plan = new_plan
         if not changed:
             return plan
+        if validate:
+            check_plan(plan, f"optimizer pass {pass_number}")
+            new_fp = plan_fingerprint(plan)
+            if new_fp == fp:
+                raise ValidationError(
+                    f"optimizer pass {pass_number} claimed progress but "
+                    f"produced a structurally identical plan; a rewrite rule "
+                    f"is rebuilding nodes without changing them"
+                )
+            fp = new_fp
     raise InternalError(
         f"plan optimizer did not reach a fixpoint after {MAX_PASSES} passes; "
         f"a rewrite rule is oscillating"

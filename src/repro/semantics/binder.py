@@ -25,8 +25,9 @@ grain for display.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.objects import BaseTable, View
@@ -55,6 +56,22 @@ __all__ = [
     "QueryBinder",
     "output_column_name",
 ]
+
+
+@contextmanager
+def _located(node: Optional[ast.Node]) -> Iterator[None]:
+    """Attach ``node``'s source span to any :class:`BindError` escaping the
+    block.  Covers clause-level raises (GROUP BY / ORDER BY / lifting) that
+    happen on bound IR where :class:`ExprBinder`'s own wrapper cannot see the
+    originating AST node.  The innermost position wins — an error that already
+    carries a location keeps it."""
+    try:
+        yield
+    except BindError as exc:
+        span = ast.node_span(node)
+        if span is not None:
+            exc.attach_location(span.line, span.column)
+        raise
 
 
 def output_column_name(item: ast.SelectItem, index: int) -> str:
@@ -1148,7 +1165,8 @@ class QueryBinder:
         order_pre: list[tuple[str, object, ast.OrderItem]] = []
         names = [self._item_name(item, i) for i, item in enumerate(items)]
         for order_item in self.select.order_by:
-            kind, payload = self._classify_order_item(order_item, names)
+            with _located(order_item):
+                kind, payload = self._classify_order_item(order_item, names)
             if kind == "expr":
                 binder = ExprBinder(
                     self, self.scope, allow_aggregates=True, clause="ORDER BY"
@@ -1216,8 +1234,14 @@ class QueryBinder:
             gid_offset,
             captured_offset,
         )
-        lifted_items = [lifter.lift(expr) for expr in bound_items]
-        lifted_having = lifter.lift(bound_having) if bound_having is not None else None
+        lifted_items = []
+        for item, expr in zip(items, bound_items):
+            with _located(item):
+                lifted_items.append(lifter.lift(expr))
+        lifted_having = None
+        if bound_having is not None:
+            with _located(self.select.having):
+                lifted_having = lifter.lift(bound_having)
 
         agg_schema: list[tuple[str, DataType]] = []
         for i, expr in enumerate(group_exprs):
@@ -1251,7 +1275,8 @@ class QueryBinder:
                 allow_windows=True,
                 clause="QUALIFY",
             )
-            lifted_qualify = lifter.lift(qualify_binder.bind(self.select.qualify))
+            with _located(self.select.qualify):
+                lifted_qualify = lifter.lift(qualify_binder.bind(self.select.qualify))
 
         with_qualify = (
             lifted_items + [lifted_qualify]
@@ -1282,7 +1307,8 @@ class QueryBinder:
             elif kind == "alias":
                 offset = payload  # type: ignore[assignment]
             else:
-                lifted = lifter.lift(payload)  # type: ignore[arg-type]
+                with _located(order_item):
+                    lifted = lifter.lift(payload)  # type: ignore[arg-type]
                 fp = b.fingerprint(lifted)
                 if fp in item_fps:
                     offset = item_fps.index(fp)
@@ -1363,7 +1389,8 @@ class QueryBinder:
             names = [c.name for c in columns if not c.is_measure]
             item_fps = [b.fingerprint(e) for e in projected_exprs]
             for order_item in select.order_by:
-                kind, payload = self._classify_order_item(order_item, names)
+                with _located(order_item):
+                    kind, payload = self._classify_order_item(order_item, names)
                 if kind in ("ordinal", "alias"):
                     offset = payload  # type: ignore[assignment]
                 else:
@@ -1449,7 +1476,8 @@ class QueryBinder:
         binder = ExprBinder(self, self.scope, clause="GROUP BY")
 
         def register(expr: ast.Expression) -> int:
-            bound = self._bind_group_expr(binder, expr, items)
+            with _located(expr):
+                bound = self._bind_group_expr(binder, expr, items)
             fp = b.fingerprint(bound)
             if fp not in registry:
                 registry[fp] = len(group_exprs)

@@ -148,7 +148,15 @@ class ExprBinder:
         method = getattr(self, f"_bind_{type(expr).__name__}", None)
         if method is None:
             raise UnsupportedError(f"cannot bind {type(expr).__name__}")
-        return method(expr)
+        try:
+            return method(expr)
+        except BindError as exc:
+            # Attach the offending node's source span: the innermost node
+            # with a span wins, errors keep their position while unwinding.
+            span = ast.node_span(expr)
+            if span is not None:
+                exc.attach_location(span.line, span.column)
+            raise
 
     # -- leaves -----------------------------------------------------------
 

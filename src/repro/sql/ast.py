@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence, Union
 
 __all__ = [
+    "Span",
+    "node_span",
     "Node",
     "Expression",
     "Literal",
@@ -88,8 +90,34 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source position attached to an AST node by the parser.
+
+    ``line``/``column`` point at the first token of the construct;
+    ``end_line``/``end_column`` (when known) point just past its first token.
+    Spans are informational only: they are deliberately *not* dataclass
+    fields of the nodes, so node equality, :func:`dataclasses.replace`-based
+    transforms, and printers are unaffected.
+    """
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
 class Node:
-    """Base class for every AST node."""
+    """Base class for every AST node.
+
+    ``span`` is the source position of the node's first token, or None for
+    synthesized nodes (rewriter output, tests constructing ASTs directly).
+    """
+
+    span: Optional[Span] = None
 
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes (recursing into lists and tuples)."""
@@ -110,6 +138,21 @@ def _iter_nodes(value: Any) -> Iterator[Node]:
     elif isinstance(value, (list, tuple)):
         for item in value:
             yield from _iter_nodes(item)
+
+
+def node_span(node: Optional[Node]) -> Optional[Span]:
+    """The best-known source span for ``node``.
+
+    Falls back to the first descendant that carries a span, because compound
+    nodes built by the precedence-climbing parser (Binary chains and the
+    like) inherit their position from their leftmost leaf.
+    """
+    if node is None:
+        return None
+    for candidate in node.walk():
+        if candidate.span is not None:
+            return candidate.span
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -607,9 +650,13 @@ class ExplainExpand(Statement):
 
 @dataclass
 class ExplainPlan(Statement):
-    """``EXPLAIN <query>``: the optimized logical plan as text."""
+    """``EXPLAIN [(LINT)] <query>``: the optimized logical plan as text.
+
+    With the ``(LINT)`` option, static-analysis diagnostics for the query
+    are prepended to the plan as ``lint:`` lines."""
 
     query: Query
+    lint: bool = False
 
 
 StatementLike = Union[Statement, Query]

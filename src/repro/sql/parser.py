@@ -58,6 +58,17 @@ class _Parser:
             self.pos += 1
         return token
 
+    def _mark(self, node: ast.Node, token: Token) -> ast.Node:
+        """Attach ``token``'s source position to ``node`` (first mark wins)."""
+        if node.span is None:
+            node.span = ast.Span(
+                token.line,
+                token.column,
+                token.line,
+                token.column + max(len(token.text), 1),
+            )
+        return node
+
     def at_keyword(self, *words: str) -> bool:
         return self.current.is_keyword(*words)
 
@@ -137,6 +148,10 @@ class _Parser:
     # -- statements ---------------------------------------------------
 
     def _statement(self) -> ast.Statement:
+        start = self.current
+        return self._mark(self._statement_inner(), start)
+
+    def _statement_inner(self) -> ast.Statement:
         if self.at_keyword("CREATE"):
             return self._create()
         if self.at_keyword("DROP"):
@@ -170,7 +185,20 @@ class _Parser:
             ):
                 self.advance()
                 return ast.ExplainExpand(self._query())
-            return ast.ExplainPlan(self._query())
+            lint = False
+            # EXPLAIN (LINT) query — the lookahead distinguishes the option
+            # list from a parenthesized query: EXPLAIN (SELECT ...) stays a
+            # plain EXPLAIN.
+            if (
+                self.at_operator("(")
+                and self.peek(1).type is TokenType.IDENT
+                and str(self.peek(1).value).upper() == "LINT"
+            ):
+                self.advance()  # '('
+                self.advance()  # LINT
+                self.expect_operator(")")
+                lint = True
+            return ast.ExplainPlan(self._query(), lint=lint)
         if self.at_keyword("SELECT", "WITH", "VALUES") or self.at_operator("("):
             return ast.QueryStatement(self._query())
         raise self.error("expected a statement")
@@ -403,7 +431,7 @@ class _Parser:
         return ast.Values(rows)
 
     def _select(self) -> ast.Select:
-        self.expect_keyword("SELECT")
+        start = self.expect_keyword("SELECT")
         distinct = False
         if self.accept_keyword("DISTINCT"):
             distinct = True
@@ -413,6 +441,7 @@ class _Parser:
         while self.accept_operator(","):
             items.append(self._select_item())
         select = ast.Select(items=items, distinct=distinct)
+        self._mark(select, start)
         if self.accept_keyword("FROM"):
             select.from_clause = self._from_clause()
         if self.accept_keyword("WHERE"):
@@ -437,9 +466,11 @@ class _Parser:
         return select
 
     def _select_item(self) -> ast.SelectItem:
+        start = self.current
         if self.at_operator("*"):
             self.advance()
-            return ast.SelectItem(ast.Star())
+            item = ast.SelectItem(self._mark(ast.Star(), start))
+            return self._mark(item, start)
         if (
             self.current.type is TokenType.IDENT
             and self.peek(1).type is TokenType.OPERATOR
@@ -450,7 +481,8 @@ class _Parser:
             qualifier = str(self.advance().value)
             self.advance()  # '.'
             self.advance()  # '*'
-            return ast.SelectItem(ast.Star(qualifier))
+            item = ast.SelectItem(self._mark(ast.Star(qualifier), start))
+            return self._mark(item, start)
         expr = self._expr()
         alias: Optional[str] = None
         is_measure = False
@@ -460,7 +492,7 @@ class _Parser:
             alias = self.expect_ident("alias")
         elif self.current.type is TokenType.IDENT:
             alias = str(self.advance().value)
-        return ast.SelectItem(expr, alias, is_measure)
+        return self._mark(ast.SelectItem(expr, alias, is_measure), start)
 
     def _from_clause(self) -> ast.TableRef:
         left = self._join_chain()
@@ -573,20 +605,21 @@ class _Parser:
         return ast.UnpivotRef(table, value_column, name_column, columns, alias)
 
     def _table_primary_base(self) -> ast.TableRef:
+        start = self.current
         if self.at_operator("("):
             self.expect_operator("(")
             if self.at_keyword("SELECT", "WITH", "VALUES"):
                 query = self._query()
                 self.expect_operator(")")
                 alias = self._table_alias()
-                return ast.SubqueryRef(query, alias)
+                return self._mark(ast.SubqueryRef(query, alias), start)
             # Parenthesized table expression (join tree, PIVOT, nested query).
             table = self._from_clause()
             self.expect_operator(")")
             return table
         name = self.expect_ident("table name")
         alias = self._table_alias()
-        return ast.TableName(name, alias)
+        return self._mark(ast.TableName(name, alias), start)
 
     def _table_alias(self) -> Optional[str]:
         if self.accept_keyword("AS"):
@@ -631,7 +664,10 @@ class _Parser:
                 self.expect_operator(")")
                 elements.append(ast.GroupingSets(sets))
             else:
-                elements.append(ast.SimpleGrouping(self._expr()))
+                start = self.current
+                elements.append(
+                    self._mark(ast.SimpleGrouping(self._expr()), start)
+                )
             if not self.accept_operator(","):
                 return elements
 
@@ -644,6 +680,7 @@ class _Parser:
         return items
 
     def _order_item(self) -> ast.OrderItem:
+        start = self.current
         expr = self._expr()
         descending = False
         if self.accept_keyword("DESC"):
@@ -657,12 +694,13 @@ class _Parser:
             else:
                 self.expect_keyword("LAST")
                 nulls_first = False
-        return ast.OrderItem(expr, descending, nulls_first)
+        return self._mark(ast.OrderItem(expr, descending, nulls_first), start)
 
     # -- expressions ------------------------------------------------------
 
     def _expr(self) -> ast.Expression:
-        return self._or_expr()
+        start = self.current
+        return self._mark(self._or_expr(), start)
 
     def _or_expr(self) -> ast.Expression:
         left = self._and_expr()
@@ -774,40 +812,43 @@ class _Parser:
     def _postfix(self) -> ast.Expression:
         expr = self._primary()
         while self.at_keyword("AT") and self.peek(1).type is TokenType.OPERATOR and self.peek(1).text == "(":
-            self.advance()
+            at_token = self.advance()
             self.expect_operator("(")
             modifiers = self._at_modifiers()
             self.expect_operator(")")
-            expr = ast.At(expr, modifiers)
+            expr = self._mark(ast.At(expr, modifiers), at_token)
         return expr
 
     def _at_modifiers(self) -> list[ast.AtModifier]:
         modifiers: list[ast.AtModifier] = []
         while True:
+            start = self.current
             if self.at_keyword("ALL"):
                 self.advance()
                 dims: list[ast.Expression] = []
                 while self._starts_dimension():
-                    dims.append(self._additive())
+                    dim_start = self.current
+                    dims.append(self._mark(self._additive(), dim_start))
                     if not (
                         self.at_operator(",")
                         and not self.peek(1).is_keyword("ALL", "SET", "VISIBLE", "WHERE")
                     ):
                         break
                     self.advance()
-                modifiers.append(ast.AllModifier(dims))
+                modifiers.append(self._mark(ast.AllModifier(dims), start))
             elif self.at_keyword("SET"):
                 self.advance()
-                dim = self._additive()
+                dim_start = self.current
+                dim = self._mark(self._additive(), dim_start)
                 self.expect_operator("=")
                 value = self._additive()
-                modifiers.append(ast.SetModifier(dim, value))
+                modifiers.append(self._mark(ast.SetModifier(dim, value), start))
             elif self.at_keyword("VISIBLE"):
                 self.advance()
-                modifiers.append(ast.VisibleModifier())
+                modifiers.append(self._mark(ast.VisibleModifier(), start))
             elif self.at_keyword("WHERE"):
                 self.advance()
-                modifiers.append(ast.WhereModifier(self._expr()))
+                modifiers.append(self._mark(ast.WhereModifier(self._expr()), start))
             else:
                 raise self.error("expected ALL, SET, VISIBLE or WHERE in AT")
             self.accept_operator(",")
@@ -823,6 +864,10 @@ class _Parser:
         return False
 
     def _primary(self) -> ast.Expression:
+        token = self.current
+        return self._mark(self._primary_inner(), token)
+
+    def _primary_inner(self) -> ast.Expression:
         token = self.current
         if token.type is TokenType.NUMBER:
             self.advance()
@@ -898,6 +943,7 @@ class _Parser:
         raise self.error("expected an expression")
 
     def _column_ref(self) -> ast.ColumnRef:
+        start = self.current
         parts = [self.expect_ident("column name")]
         while self.at_operator(".") and (
             self.peek(1).type is TokenType.IDENT
@@ -905,7 +951,9 @@ class _Parser:
         ):
             self.advance()
             parts.append(self.expect_ident("column name"))
-        return ast.ColumnRef(tuple(parts))
+        ref = ast.ColumnRef(tuple(parts))
+        self._mark(ref, start)
+        return ref
 
     def _function_call(self, name: str) -> ast.Expression:
         self.expect_operator("(")

@@ -414,7 +414,8 @@ class _Printer:
         return f"TRUNCATE TABLE {_ident(node.table)}"
 
     def _render_ExplainPlan(self, node: ast.ExplainPlan) -> str:
-        return f"EXPLAIN {self.render(node.query)}"
+        option = "(LINT) " if node.lint else ""
+        return f"EXPLAIN {option}{self.render(node.query)}"
 
     def _render_Update(self, node: ast.Update) -> str:
         sets = ", ".join(

@@ -1,0 +1,187 @@
+"""The paper's numbered listings as reusable SQL constants.
+
+Tests, benchmarks, and the static-analysis self-check all consume the same
+strings, so the listings live here rather than being duplicated per caller.
+``SETUP`` holds the view definitions some listings depend on (Listings 2 and
+3 define views; Listing 12's ``mv`` view backs the Table 3 modifier matrix).
+
+Listing 5 and Listing 11 are the paper's *expanded* forms of Listings 4 and
+10; they are derived with :meth:`Database.expand` at runtime rather than
+hard-coded, so they always match the engine's actual rewrite output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LISTINGS", "SETUP", "all_listing_sql", "expanded_listings"]
+
+# -- view definitions consumed by listings (run against paper tables) --------
+
+SETUP: dict[str, str] = {
+    "SummarizedOrders": """
+CREATE VIEW SummarizedOrders AS
+SELECT prodName, orderDate,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+FROM Orders GROUP BY prodName, orderDate
+""",
+    "EnhancedOrders": """
+CREATE VIEW EnhancedOrders AS
+SELECT orderDate, prodName,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+FROM Orders
+""",
+    "mv": """
+CREATE VIEW mv AS
+SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+       SUM(revenue) AS MEASURE r
+FROM Orders
+""",
+}
+
+# -- the listings themselves --------------------------------------------------
+
+LISTING1 = """
+SELECT prodName, COUNT(*) AS c,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+FROM Orders GROUP BY prodName ORDER BY prodName
+"""
+
+LISTING2 = """
+SELECT prodName, AVG(profitMargin) AS avgMargin
+FROM SummarizedOrders GROUP BY prodName ORDER BY prodName
+"""
+
+LISTING3 = """
+SELECT orderDate, prodName, AGGREGATE(profitMargin) AS profitMargin
+FROM EnhancedOrders GROUP BY orderDate, prodName ORDER BY orderDate, prodName
+"""
+
+LISTING4 = """
+SELECT prodName, AGGREGATE(profitMargin) AS profitMargin, COUNT(*) AS c
+FROM EnhancedOrders GROUP BY prodName ORDER BY prodName
+"""
+
+LISTING6 = """
+SELECT prodName, sumRevenue,
+       sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+GROUP BY prodName ORDER BY prodName
+"""
+
+LISTING7 = """
+SELECT prodName, orderYear, profitMargin,
+       profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+         AS profitMarginLastYear
+FROM (SELECT *,
+        (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+        YEAR(orderDate) AS orderYear
+      FROM Orders)
+WHERE orderYear = 2024
+GROUP BY prodName, orderYear
+"""
+
+LISTING8 = """
+SELECT o.prodName, COUNT(*) AS c,
+       AGGREGATE(o.sumRevenue) AS rAgg,
+       o.sumRevenue AT (VISIBLE) AS rViz,
+       o.sumRevenue AS r
+FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+WHERE o.custName <> 'Bob'
+GROUP BY ROLLUP(o.prodName)
+ORDER BY o.prodName NULLS LAST
+"""
+
+LISTING9 = """
+WITH EnhancedCustomers AS (
+  SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+SELECT o.prodName,
+       COUNT(*) AS orderCount,
+       AVG(c.custAge) AS weightedAvgAge,
+       c.avgAge AS avgAge,
+       c.avgAge AT (VISIBLE) AS visibleAvgAge
+FROM Orders AS o
+JOIN EnhancedCustomers AS c USING (custName)
+WHERE c.custAge >= 18
+GROUP BY o.prodName
+ORDER BY o.prodName
+"""
+
+LISTING10 = """
+SELECT prodName, YEAR(orderDate) AS orderYear,
+       sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue,
+             YEAR(orderDate) AS orderYear
+      FROM Orders)
+GROUP BY prodName, YEAR(orderDate)
+ORDER BY prodName, orderYear
+"""
+
+LISTING12_Q1 = """
+SELECT o.prodName, o.orderDate FROM Orders AS o
+WHERE o.revenue > (SELECT AVG(revenue) FROM Orders AS o1
+                   WHERE o1.prodName = o.prodName)
+ORDER BY 1, 2
+"""
+
+LISTING12_Q2 = """
+SELECT o.prodName, o.orderDate FROM Orders AS o
+LEFT JOIN (SELECT prodName, AVG(revenue) AS avgRevenue
+           FROM Orders GROUP BY prodName) AS o2
+  ON o.prodName = o2.prodName
+WHERE o.revenue > o2.avgRevenue
+ORDER BY 1, 2
+"""
+
+LISTING12_Q3 = """
+SELECT o.prodName, o.orderDate FROM
+  (SELECT prodName, revenue, orderDate,
+          AVG(revenue) OVER (PARTITION BY prodName) AS avgRevenue
+   FROM Orders) AS o
+WHERE o.revenue > o.avgRevenue
+ORDER BY 1, 2
+"""
+
+LISTING12_Q4 = """
+SELECT o.prodName, o.orderDate FROM
+  (SELECT prodName, orderDate, revenue,
+          AVG(revenue) AS MEASURE avgRevenue
+   FROM Orders) AS o
+WHERE o.revenue > o.avgRevenue AT (WHERE prodName = o.prodName)
+ORDER BY 1, 2
+"""
+
+#: Every directly-runnable listing, keyed by the paper's numbering.  Listings
+#: 5 and 11 are expansion outputs — see :func:`expanded_listings`.
+LISTINGS: dict[str, str] = {
+    "listing1": LISTING1,
+    "listing2": LISTING2,
+    "listing3": LISTING3,
+    "listing4": LISTING4,
+    "listing6": LISTING6,
+    "listing7": LISTING7,
+    "listing8": LISTING8,
+    "listing9": LISTING9,
+    "listing10": LISTING10,
+    "listing12_q1": LISTING12_Q1,
+    "listing12_q2": LISTING12_Q2,
+    "listing12_q3": LISTING12_Q3,
+    "listing12_q4": LISTING12_Q4,
+}
+
+
+def expanded_listings(db) -> dict[str, str]:
+    """Listings 5 and 11: the engine's expansions of Listings 4 and 10.
+
+    ``db`` must already hold the paper tables and the :data:`SETUP` views.
+    """
+    return {
+        "listing5": db.expand(LISTING4),
+        "listing11": db.expand(LISTING10),
+    }
+
+
+def all_listing_sql(db=None) -> dict[str, str]:
+    """Every listing, including the derived expansions when ``db`` is given."""
+    out = dict(LISTINGS)
+    if db is not None:
+        out.update(expanded_listings(db))
+    return out

@@ -5,13 +5,31 @@ from __future__ import annotations
 import pytest
 
 from repro import Database
+from repro.analysis import validation_enabled
 from repro.workloads.paper_data import load_paper_tables
+
+
+def pytest_report_header(config) -> str:
+    """Show whether the plan/IR validator is active for this run.
+
+    ``Database`` reads ``REPRO_VALIDATE`` at construction, so running the
+    suite as ``REPRO_VALIDATE=1 pytest tests/`` checks every bound and
+    optimized plan against the structural invariants (CI does one such run).
+    """
+    state = "on" if validation_enabled() else "off (set REPRO_VALIDATE=1)"
+    return f"repro plan validator: {state}"
 
 
 @pytest.fixture
 def db() -> Database:
     """An empty database."""
     return Database()
+
+
+@pytest.fixture
+def validating_db() -> Database:
+    """A database with the plan/IR validator forced on, env aside."""
+    return Database(validate=True)
 
 
 @pytest.fixture
