@@ -1,6 +1,6 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test bench report shell examples lint validate all
+.PHONY: test bench report snapshot shell examples lint validate all
 
 test:
 	pytest tests/
@@ -10,6 +10,9 @@ bench:
 
 report:
 	python -m benchmarks.report
+
+snapshot:
+	python -m benchmarks.report --snapshot --out benchmarks/
 
 shell:
 	python -m repro

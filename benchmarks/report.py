@@ -2,11 +2,36 @@
 
 Run with::
 
-    python -m benchmarks.report
+    python -m benchmarks.report                # correctness report
+    python -m benchmarks.report --snapshot     # write BENCH_<date>.json
 
 This is the no-timing companion to the pytest-benchmark suite: it prints the
 paper's expected values next to the engine's measured output for each
 experiment in DESIGN.md's index, and exits non-zero on any mismatch.
+
+``--snapshot`` instead times the paper listings in smoke mode (best of
+``--repeats`` runs, profiling off) and captures one
+:class:`~repro.profile.QueryProfile` per listing, writing everything to
+``BENCH_<YYYY-MM-DD>.json``.  Snapshot schema (``repro-bench-v1``)::
+
+    {
+      "schema": "repro-bench-v1",
+      "generated": "<ISO-8601 UTC timestamp>",
+      "python": "<interpreter version>",
+      "platform": "<platform string>",
+      "repeats": <best-of-N>,
+      "listings": {
+        "<name>": {
+          "wall_ms": <best wall time, profiling off>,
+          "rows": <result cardinality>,
+          "profile": { <QueryProfile.to_dict()> }
+        }, ...
+      },
+      "pytest_benchmark": { <--from file, verbatim "benchmarks" list> | null }
+    }
+
+CI runs this after the benchmark job and uploads the file as an artifact, so
+the repo accumulates a comparable perf trajectory across commits.
 """
 
 from __future__ import annotations
@@ -15,6 +40,8 @@ import sys
 
 from repro import Database
 from repro.workloads.paper_data import load_paper_tables
+
+SNAPSHOT_SCHEMA = "repro-bench-v1"
 
 FAILURES: list[str] = []
 
@@ -28,6 +55,151 @@ def check(label: str, condition: bool) -> None:
 
 def section(title: str) -> None:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+# -- perf snapshot (--snapshot) ---------------------------------------------
+
+#: The timed listing set: every paper query the report checks, by name.
+#: Queries that need views get them from :func:`_snapshot_database`.
+SNAPSHOT_QUERIES: dict[str, str] = {
+    "e02-listing1": """SELECT prodName, COUNT(*) AS c,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+           FROM Orders GROUP BY prodName ORDER BY prodName""",
+    "e04-listing4": """SELECT prodName, AGGREGATE(profitMargin), COUNT(*)
+           FROM EnhancedOrders GROUP BY prodName ORDER BY prodName""",
+    "e06-listing6": """SELECT prodName, sumRevenue,
+                  sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+           FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+           GROUP BY prodName ORDER BY prodName""",
+    "e07-listing7": """SELECT prodName, orderYear, profitMargin,
+                  profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+                    AS profitMarginLastYear
+           FROM (SELECT *,
+                   (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+                   YEAR(orderDate) AS orderYear
+                 FROM Orders)
+           WHERE orderYear = 2024 GROUP BY prodName, orderYear""",
+    "e08-listing8": """SELECT o.prodName, COUNT(*) AS c,
+                  AGGREGATE(o.sumRevenue) AS rAgg,
+                  o.sumRevenue AT (VISIBLE) AS rViz,
+                  o.sumRevenue AS r
+           FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+           WHERE o.custName <> 'Bob'
+           GROUP BY ROLLUP(o.prodName) ORDER BY o.prodName NULLS LAST""",
+    "e09-listing9": """WITH EnhancedCustomers AS (
+             SELECT *, AVG(custAge) AS MEASURE avgAge FROM Customers)
+           SELECT o.prodName, COUNT(*) AS orderCount,
+                  AVG(c.custAge) AS weightedAvgAge,
+                  c.avgAge AS avgAge,
+                  c.avgAge AT (VISIBLE) AS visibleAvgAge
+           FROM Orders AS o JOIN EnhancedCustomers AS c USING (custName)
+           WHERE c.custAge >= 18 GROUP BY o.prodName ORDER BY o.prodName""",
+    "e10-listing10": """SELECT prodName, YEAR(orderDate) AS orderYear,
+                      sumRevenue / sumRevenue AT (SET orderYear = CURRENT orderYear - 1) AS ratio
+               FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue,
+                            YEAR(orderDate) AS orderYear FROM Orders)
+               GROUP BY prodName, YEAR(orderDate) ORDER BY prodName, orderYear""",
+    "e12-modifier-matrix": """SELECT prodName, r AS base, r AT (ALL) AS grandTotal,
+                  r AT (ALL custName) AS allCust,
+                  r AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+                  r AT (VISIBLE) AS vis,
+                  r AT (WHERE orderYear = 2023) AS y2023
+           FROM mv WHERE custName <> 'Bob'
+           GROUP BY prodName ORDER BY prodName""",
+}
+
+
+def _snapshot_database() -> Database:
+    db = Database()
+    load_paper_tables(db)
+    db.execute(
+        """CREATE VIEW EnhancedOrders AS
+           SELECT orderDate, prodName,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin
+           FROM Orders"""
+    )
+    db.execute(
+        """CREATE VIEW mv AS
+           SELECT prodName, custName, YEAR(orderDate) AS orderYear,
+                  SUM(revenue) AS MEASURE r FROM Orders"""
+    )
+    return db
+
+
+def write_snapshot(
+    out_path: str | None = None,
+    *,
+    repeats: int = 3,
+    pytest_json: str | None = None,
+) -> str:
+    """Time every snapshot listing and write ``BENCH_<date>.json``.
+
+    Wall times are best-of-``repeats`` with profiling OFF (so the number is
+    comparable to production execution); the attached profile comes from one
+    additional profiled run.  Returns the path written.
+    """
+    import json
+    import os
+    import platform
+    from datetime import datetime, timezone
+
+    from benchmarks.bench_listings import LISTING12
+
+    db = _snapshot_database()
+    queries = dict(SNAPSHOT_QUERIES)
+    for name, sql in LISTING12.items():
+        queries[f"e11-{name}"] = sql
+
+    listings: dict[str, dict] = {}
+    for name, sql in queries.items():
+        best = min(
+            _timed_run(db, sql) for _ in range(max(1, repeats))
+        )
+        db.profile_enabled = True
+        try:
+            result = db.execute(sql)
+            profile = db.last_profile()
+        finally:
+            db.profile_enabled = False
+        listings[name] = {
+            "wall_ms": round(best * 1000.0, 3),
+            "rows": len(result.rows),
+            "profile": profile.to_dict(),
+        }
+
+    embedded = None
+    if pytest_json is not None:
+        with open(pytest_json) as handle:
+            embedded = json.load(handle).get("benchmarks")
+
+    now = datetime.now(timezone.utc)
+    payload = {
+        "schema": SNAPSHOT_SCHEMA,
+        "generated": now.isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "listings": listings,
+        "pytest_benchmark": embedded,
+    }
+    if out_path is None:
+        out_path = f"BENCH_{now.date().isoformat()}.json"
+    elif out_path.endswith(os.sep) or os.path.isdir(out_path):
+        os.makedirs(out_path, exist_ok=True)
+        out_path = os.path.join(out_path, f"BENCH_{now.date().isoformat()}.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path} ({len(listings)} listings)")
+    return out_path
+
+
+def _timed_run(db: Database, sql: str) -> float:
+    import time
+
+    start = time.perf_counter()
+    db.execute(sql)
+    return time.perf_counter() - start
 
 
 def main() -> int:
@@ -195,5 +367,45 @@ def main() -> int:
     return 0
 
 
+def cli(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.report", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="write a BENCH_<date>.json perf snapshot instead of the report",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="snapshot output file or directory (default: BENCH_<date>.json "
+        "in the current directory)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N wall-time runs per listing (default 3)",
+    )
+    parser.add_argument(
+        "--from",
+        dest="pytest_json",
+        default=None,
+        metavar="PYTEST_JSON",
+        help="embed the 'benchmarks' list of a pytest-benchmark --benchmark-json "
+        "file into the snapshot",
+    )
+    args = parser.parse_args(argv)
+    if args.snapshot:
+        write_snapshot(
+            args.out, repeats=args.repeats, pytest_json=args.pytest_json
+        )
+        return 0
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

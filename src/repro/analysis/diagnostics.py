@@ -62,6 +62,10 @@ RULES: dict[str, tuple[Severity, str]] = {
         Severity.INFO,
         "grouped query cannot be answered from a materialized summary",
     ),
+    "RP111": (
+        Severity.ERROR,
+        "EXPLAIN [ANALYZE] applied to a DDL/DML statement",
+    ),
 }
 
 

@@ -63,7 +63,25 @@ def lint_statement(catalog, statement: ast.Statement) -> list[Diagnostic]:
     """Lint a parsed statement (dispatches to :func:`lint_query`)."""
     if isinstance(statement, ast.QueryStatement):
         return lint_query(catalog, statement.query)
-    if isinstance(statement, (ast.ExplainPlan, ast.ExplainExpand)):
+    if isinstance(statement, ast.ExplainPlan):
+        if statement.query is None:
+            # EXPLAIN [ANALYZE] over DDL/DML parses but never executes:
+            # only queries have plans.  Lint the wrapped statement too, so
+            # e.g. an unhinged INSERT source still gets its own findings.
+            target = statement.target
+            diags = [
+                _diag(
+                    "RP111",
+                    f"EXPLAIN cannot explain a "
+                    f"{type(target).__name__} statement",
+                    getattr(target, "span", None),
+                    hint="EXPLAIN and EXPLAIN ANALYZE accept queries only",
+                )
+            ]
+            diags.extend(lint_statement(catalog, target))
+            return diags
+        return lint_query(catalog, statement.query)
+    if isinstance(statement, ast.ExplainExpand):
         return lint_query(catalog, statement.query)
     if isinstance(statement, (ast.CreateView, ast.CreateMaterializedView)):
         return lint_query(catalog, statement.query, view_def=True)

@@ -60,6 +60,14 @@ class Database:
         Run the :mod:`repro.analysis` plan/IR validator on every bound plan
         and after every optimizer pass.  Defaults to the ``REPRO_VALIDATE``
         environment flag; cheap enough for test suites, off for benchmarks.
+    profile:
+        Profile every query: phase timings (parse/rewrite/bind/optimize/
+        execute), per-operator row counts and wall time, and measure-cache
+        behaviour.  The resulting :class:`~repro.profile.QueryProfile` is
+        available from :meth:`last_profile`.  Off by default — when off, the
+        executor pays a single ``is None`` check per operator and no timers
+        run.  ``EXPLAIN ANALYZE`` profiles a single query regardless of
+        this flag.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class Database:
         optimizer: bool = True,
         summaries: bool = True,
         validate: Optional[bool] = None,
+        profile: bool = False,
     ):
         from repro.analysis.validator import validation_enabled
 
@@ -79,11 +88,14 @@ class Database:
         self.validate_enabled = (
             validation_enabled() if validate is None else validate
         )
+        self.profile_enabled = profile
         #: Internal: True while a refresh/delta query runs, so a summary's
         #: own definition is never answered from the (old) summary itself.
         self._suppress_summaries = False
         #: Statistics of the most recent query execution.
         self.last_stats: Optional[ExecutionContext] = None
+        #: QueryProfile of the most recent profiled query (see last_profile).
+        self._last_profile = None
 
     # -- statement execution ----------------------------------------------
 
@@ -93,7 +105,18 @@ class Database:
         ``params`` supplies values for positional ``?`` placeholders, in
         order (DB-API style).
         """
-        return self._execute_statement(parse_statement(sql), params)
+        if not self.profile_enabled:
+            return self._execute_statement(parse_statement(sql), params)
+        from repro.profile import Profiler
+
+        profiler = Profiler()
+        with profiler.phase("parse"):
+            statement = parse_statement(sql)
+        if isinstance(statement, ast.QueryStatement):
+            # The profiler carries the parse span into the query pipeline so
+            # the finished profile covers the whole statement.
+            return self._run_query(statement.query, params, profiler=profiler)
+        return self._execute_statement(statement, params)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a semicolon-separated script; returns one Result each."""
@@ -153,23 +176,85 @@ class Database:
             )
         raise SqlError(f"cannot execute {type(statement).__name__}")
 
-    def _run_query(self, query: ast.Query, params: Sequence[Any] = ()) -> Result:
+    def _run_query(
+        self,
+        query: ast.Query,
+        params: Sequence[Any] = (),
+        profiler=None,
+    ) -> Result:
+        # Internal queries (summary refresh/delta) never auto-profile; they
+        # would clobber the user-visible last_profile().
+        if (
+            profiler is None
+            and self.profile_enabled
+            and not self._suppress_summaries
+        ):
+            from repro.profile import Profiler
+
+            profiler = Profiler()
+        tracer = profiler.tracer if profiler is not None else None
+        original_query = query
+
+        outcome = None
         if self.summaries_enabled and not self._suppress_summaries:
-            query = rewrite_query(self.catalog, query).query
+            span = tracer.begin("rewrite", "phase") if tracer is not None else None
+            outcome = rewrite_query(self.catalog, query)
+            if span is not None:
+                if outcome.used is not None:
+                    span.meta["summary"] = outcome.used.name
+                tracer.end(span)
+            query = outcome.query
+        # Hit/miss latency is only measured when a summary was at least a
+        # candidate, so queries that never touch a summary pay nothing.
+        watch_summaries = outcome is not None and (
+            outcome.used is not None or bool(outcome.reports)
+        )
+        if watch_summaries:
+            import time as _time
+
+            latency_start = _time.perf_counter()
+
+        span = tracer.begin("bind", "phase") if tracer is not None else None
         binder = Binder(self.catalog)
         plan, columns = binder.bind_query_top(query)
+        if tracer is not None:
+            tracer.end(span)
         if self.optimizer_enabled:
+            span = tracer.begin("optimize", "phase") if tracer is not None else None
             # optimize() re-validates the bound plan and every pass itself.
             plan = optimize(plan, validate=self.validate_enabled)
+            if tracer is not None:
+                tracer.end(span)
         elif self.validate_enabled:
             from repro.analysis.validator import check_plan
 
             check_plan(plan, "binding")
         ctx = ExecutionContext(
-            self.catalog, enable_cache=self.cache_enabled, params=params
+            self.catalog,
+            enable_cache=self.cache_enabled,
+            params=params,
+            profiler=profiler,
         )
+        span = tracer.begin("execute", "phase") if tracer is not None else None
         rows = execute_plan(plan, ctx)
+        if tracer is not None:
+            tracer.end(span)
         self.last_stats = ctx
+        if watch_summaries:
+            elapsed_ms = (_time.perf_counter() - latency_start) * 1000.0
+            if outcome.used is not None:
+                outcome.used.stats.record_hit_latency(elapsed_ms)
+            else:
+                for report in outcome.reports:
+                    view = self.catalog.get(report.view)
+                    if isinstance(view, MaterializedView):
+                        view.stats.record_miss_latency(elapsed_ms)
+        if profiler is not None:
+            from repro.sql.printer import to_sql
+
+            self._last_profile = profiler.finish(
+                plan, ctx, len(rows), sql=to_sql(original_query)
+            )
         return Result(
             columns=[ResultColumn(c.name, c.dtype) for c in columns],
             rows=rows,
@@ -391,6 +476,14 @@ class Database:
         from repro.plan.logical import plan_tree_string
         from repro.types import VARCHAR
 
+        if statement.query is None:
+            # EXPLAIN over DDL/DML parses (lint rule RP111 flags it) but has
+            # no plan to show: this engine only plans queries.
+            target = type(statement.target).__name__
+            raise SqlError(
+                f"EXPLAIN cannot explain a {target} statement; "
+                "only queries have plans (lint rule RP111)"
+            )
         query = statement.query
         lint_lines: list[str] = []
         if statement.lint:
@@ -400,6 +493,8 @@ class Database:
                 f"lint: {diag.render()}"
                 for diag in lint_query(self.catalog, query)
             ] or ["lint: clean"]
+        if statement.analyze:
+            return self._explain_analyze(statement, lint_lines)
         summary_lines: list[str] = []
         if self.summaries_enabled and not self._suppress_summaries:
             # record=False: EXPLAIN reports the decision without inflating
@@ -417,6 +512,42 @@ class Database:
             rows=[(line,) for line in lines],
             rowcount=len(lines),
         )
+
+    def _explain_analyze(
+        self, statement: ast.ExplainPlan, lint_lines: list[str]
+    ) -> Result:
+        """``EXPLAIN ANALYZE``: execute the query under a fresh profiler and
+        render the operator tree annotated with observed rows and timing.
+
+        Like PostgreSQL, the query genuinely runs (summary hit counters and
+        DML-visible side effects of the execution happen); the result rows
+        are discarded and the annotated plan is returned instead.
+        """
+        from repro.profile import Profiler
+        from repro.types import VARCHAR
+
+        profiler = Profiler()
+        self._run_query(statement.query, profiler=profiler)
+        profile = self._last_profile
+        lines = (
+            lint_lines
+            + profile.plan_lines()
+            + profile.summary_lines()
+        )
+        return Result(
+            columns=[ResultColumn("plan", VARCHAR)],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+        )
+
+    def last_profile(self):
+        """The :class:`~repro.profile.QueryProfile` of the most recent
+        profiled query, or None.
+
+        Populated whenever the database was constructed with
+        ``profile=True`` or an ``EXPLAIN ANALYZE`` statement ran.
+        """
+        return self._last_profile
 
     # -- static analysis ------------------------------------------------------
 
@@ -457,7 +588,17 @@ class Database:
         """Like :meth:`expand`, for an already-parsed query AST."""
         from repro.core.expansion import expand_to_sql
 
-        return expand_to_sql(self, query, strategy=strategy)
+        if not self.profile_enabled:
+            return expand_to_sql(self, query, strategy=strategy)
+        from repro.profile import Profiler
+
+        profiler = Profiler()
+        with profiler.phase("expand"):
+            sql = expand_to_sql(
+                self, query, strategy=strategy, tracer=profiler.tracer
+            )
+        self._last_profile = profiler.finish(sql=sql)
+        return sql
 
     # -- convenience ------------------------------------------------------------
 
@@ -485,7 +626,8 @@ class Database:
     def summary_stats(self) -> dict:
         """Per-materialized-view observability counters.
 
-        Maps view name to hit/reject/stale-skip/refresh counters plus the
+        Maps view name to hit/reject/stale-skip/refresh counters, cumulative
+        hit/miss query latency (``hit_time_ms``/``miss_time_ms``), plus the
         current staleness flag — the numbers EXPLAIN's ``summary:`` lines
         are drawn from.
         """

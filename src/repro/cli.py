@@ -8,6 +8,8 @@ Backslash meta-commands:
 ``\\d``                     list tables and views
 ``\\d NAME``                describe a table or view (columns, measures)
 ``\\timing``                toggle per-statement timing
+``\\profile``               toggle per-query profiling (annotated operator
+                           tree, phase timings, and counters after each query)
 ``\\expand [STRAT:] QUERY`` show the measure-free SQL a query expands to
                            (STRAT: subquery, inline, window, or auto)
 ``\\lint SQL``              report static-analysis diagnostics for SQL
@@ -38,6 +40,7 @@ _HELP = """Meta commands:
   \\d                 list tables and views
   \\d NAME            describe a table, view, or materialized view
   \\timing            toggle timing
+  \\profile           toggle per-query profiling (plan tree + counters)
   \\expand [S:] QUERY; print the measure-free expansion of QUERY using
                      strategy S (subquery, inline, window, auto)
   \\lint SQL;         report lint diagnostics (RPxxx) without executing
@@ -104,6 +107,11 @@ class Shell:
         elif command == "\\timing":
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
+        elif command == "\\profile":
+            self.db.profile_enabled = not self.db.profile_enabled
+            self.write(
+                f"profile {'on' if self.db.profile_enabled else 'off'}"
+            )
         elif command == "\\expand":
             strategy = "subquery"
             prefix, colon, rest = argument.partition(":")
@@ -230,6 +238,9 @@ class Shell:
 
     def run_sql(self, sql: str) -> None:
         """Execute a SQL string and print results or a typed error."""
+        profile_before = (
+            self.db.last_profile() if self.db.profile_enabled else None
+        )
         start = time.perf_counter()
         try:
             results = self.db.execute_script(sql)
@@ -243,6 +254,15 @@ class Shell:
                 self.write(f"({len(result.rows)} rows)")
             else:
                 self.write(result.message or "ok")
+        if self.db.profile_enabled:
+            profile = self.db.last_profile()
+            # Only a fresh profile (this script ran a query) is printed;
+            # DDL-only scripts produce none.
+            if profile is not None and profile is not profile_before:
+                for line in profile.plan_lines():
+                    self.write(line)
+                for line in profile.summary_lines():
+                    self.write(line)
         if self.timing:
             self.write(f"time: {elapsed:.1f} ms")
 

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "Term",
+    "summarize_terms",
     "EqTerm",
     "PredTerm",
     "VisibleTerm",
@@ -61,6 +62,25 @@ class Term:
     def current_value(self) -> tuple[bool, Any]:
         """(pinned, value) for CURRENT dim resolution."""
         return False, None
+
+    @property
+    def kind(self) -> str:
+        """Stable lowercase slug (``eqterm`` ...) for profiling counters."""
+        return type(self).__name__.lower()
+
+
+def summarize_terms(terms: list["Term"]) -> dict[str, int]:
+    """Term-kind histogram for one evaluation context.
+
+    The measure evaluator feeds this to the profiler so a trace shows what a
+    context was made of (e.g. ``{"eqterm": 2, "visibleterm": 1}``) without
+    serializing the terms themselves.
+    """
+    histogram: dict[str, int] = {}
+    for term in terms:
+        key = term.kind
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram
 
 
 @dataclass

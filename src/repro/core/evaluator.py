@@ -45,7 +45,33 @@ def evaluate_measure(
     ``env`` is the call-site environment (the row being produced).
     ``formula_rows`` is only set for inherited contexts: the outer measure's
     already-filtered source rows.
+
+    With a profiler attached, each evaluation is a ``measure:<name>`` span
+    annotated with the cache verdict; otherwise the wrapper is one ``is
+    None`` check.
     """
+    profiler = ctx.profiler
+    if profiler is None:
+        return _evaluate_measure_impl(node, env, ctx, formula_rows)
+    token = profiler.enter_measure(node.measure.name)
+    hits_before = ctx.measure_cache_hits
+    try:
+        result = _evaluate_measure_impl(node, env, ctx, formula_rows)
+    except BaseException:
+        profiler.exit_measure(token, cache_hit=False)
+        raise
+    profiler.exit_measure(
+        token, cache_hit=ctx.measure_cache_hits > hits_before
+    )
+    return result
+
+
+def _evaluate_measure_impl(
+    node: b.BoundMeasureEval,
+    env: Optional[EvalEnv],
+    ctx: ExecutionContext,
+    formula_rows: Optional[list[tuple]] = None,
+) -> Any:
     spec = node.context
     if _first_modifier_replaces(spec):
         # The first modifier discards the incoming context (WHERE / bare
@@ -54,6 +80,12 @@ def evaluate_measure(
     else:
         terms = _base_terms(spec, env, ctx, formula_rows)
         terms = apply_modifiers(terms, spec, env, ctx)
+
+    if ctx.profiler is not None:
+        from repro.core.context import summarize_terms
+
+        for kind, count in summarize_terms(terms).items():
+            ctx.profiler.bump(f"context_terms.{kind}", count)
 
     ctx.measure_evaluations += 1
     cache_key = None

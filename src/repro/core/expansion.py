@@ -47,13 +47,34 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["expand_to_sql", "expand_query_ast", "Expander"]
 
 
-def expand_to_sql(db: "Database", query: ast.Query, *, strategy: str = "subquery") -> str:
+def expand_to_sql(
+    db: "Database", query: ast.Query, *, strategy: str = "subquery", tracer=None
+) -> str:
     """Expand ``query``'s measures and render the result as SQL text."""
-    return to_sql(expand_query_ast(db, query, strategy=strategy))
+    return to_sql(expand_query_ast(db, query, strategy=strategy, tracer=tracer))
+
+
+def _traced_attempt(tracer, name: str, thunk):
+    """Run one strategy attempt under an ``expand:<name>`` span (if any),
+    recording whether the shape was supported."""
+    if tracer is None:
+        return thunk()
+    span = tracer.begin(f"expand:{name}", "expand")
+    try:
+        result = thunk()
+    except UnsupportedError:
+        if span is not None:
+            span.meta["outcome"] = "unsupported"
+        tracer.end(span)
+        raise
+    if span is not None:
+        span.meta["outcome"] = "ok"
+    tracer.end(span)
+    return result
 
 
 def expand_query_ast(
-    db: "Database", query: ast.Query, *, strategy: str = "subquery"
+    db: "Database", query: ast.Query, *, strategy: str = "subquery", tracer=None
 ) -> ast.Query:
     if strategy == "auto":
         # Cheapest shape first: inline produces a plain GROUP BY, window a
@@ -62,20 +83,34 @@ def expand_query_ast(
         # UnsupportedError, so the cascade is safe.
         for candidate in ("inline", "window"):
             try:
-                return expand_query_ast(db, query, strategy=candidate)
+                return expand_query_ast(
+                    db, query, strategy=candidate, tracer=tracer
+                )
             except UnsupportedError:
                 continue
-        return expand_query_ast(db, query, strategy="subquery")
+        return expand_query_ast(db, query, strategy="subquery", tracer=tracer)
     if strategy == "subquery":
-        return Expander(db).expand_query(copy.deepcopy(query))
+        return _traced_attempt(
+            tracer,
+            "subquery",
+            lambda: Expander(db).expand_query(copy.deepcopy(query)),
+        )
     if strategy == "inline":
         from repro.core.strategies import inline_expand
 
-        return inline_expand(db, copy.deepcopy(query))
+        return _traced_attempt(
+            tracer,
+            "inline",
+            lambda: inline_expand(db, copy.deepcopy(query), tracer=tracer),
+        )
     if strategy == "window":
         from repro.core.strategies import window_expand
 
-        return window_expand(db, copy.deepcopy(query))
+        return _traced_attempt(
+            tracer,
+            "window",
+            lambda: window_expand(db, copy.deepcopy(query), tracer=tracer),
+        )
     raise UnsupportedError(f"unknown expansion strategy {strategy!r}")
 
 

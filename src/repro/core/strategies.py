@@ -55,7 +55,7 @@ def _single_measure_relation(
     return relations[0], new_from
 
 
-def inline_expand(db: "Database", query: ast.Query) -> ast.Query:
+def inline_expand(db: "Database", query: ast.Query, *, tracer=None) -> ast.Query:
     """Inline measure formulas into a simple GROUP BY query.
 
     Shape: ``SELECT g..., AGGREGATE(m)... FROM MT [WHERE w] GROUP BY g...``
@@ -128,6 +128,8 @@ def inline_expand(db: "Database", query: ast.Query) -> ast.Query:
     for conjunct in conjuncts:
         where = conjunct if where is None else ast.Binary("AND", where, conjunct)
 
+    if tracer is not None and tracer.current is not None:
+        tracer.current.meta["inlined_items"] = len(new_items)
     return ast.Select(
         items=new_items,
         from_clause=copy.deepcopy(table.source_from),
@@ -144,7 +146,7 @@ def inline_expand(db: "Database", query: ast.Query) -> ast.Query:
     )
 
 
-def window_expand(db: "Database", query: ast.Query) -> ast.Query:
+def window_expand(db: "Database", query: ast.Query, *, tracer=None) -> ast.Query:
     """Rewrite row-grain measure uses to window aggregates (section 5.1).
 
     Shape: a non-aggregate query over a single measure table where every
@@ -281,6 +283,8 @@ def window_expand(db: "Database", query: ast.Query) -> ast.Query:
 
     if not window_columns:
         raise UnsupportedError("query uses no measures; nothing to rewrite")
+    if tracer is not None and tracer.current is not None:
+        tracer.current.meta["window_columns"] = len(window_columns)
 
     inner_items = [
         ast.SelectItem(copy.deepcopy(table.dims[c.lower()]), c)

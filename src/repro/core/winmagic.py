@@ -48,9 +48,30 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["winmagic_rewrite"]
 
 
-def winmagic_rewrite(db: "Database", query: ast.Query) -> ast.Query:
+def winmagic_rewrite(db: "Database", query: ast.Query, *, tracer=None) -> ast.Query:
     """Rewrite eligible correlated subqueries in ``query`` to window
-    aggregates.  Raises UnsupportedError when nothing is eligible."""
+    aggregates.  Raises UnsupportedError when nothing is eligible.
+
+    With a tracer attached, the attempt runs under an ``expand:winmagic``
+    span annotated with how many window columns the rewrite introduced.
+    """
+    if tracer is not None:
+        span = tracer.begin("expand:winmagic", "expand")
+        try:
+            result = _winmagic_rewrite_impl(db, query)
+        except UnsupportedError:
+            if span is not None:
+                span.meta["outcome"] = "unsupported"
+            tracer.end(span)
+            raise
+        if span is not None:
+            span.meta["outcome"] = "ok"
+        tracer.end(span)
+        return result
+    return _winmagic_rewrite_impl(db, query)
+
+
+def _winmagic_rewrite_impl(db: "Database", query: ast.Query) -> ast.Query:
     if not isinstance(query, ast.Select):
         raise UnsupportedError("WinMagic requires a plain SELECT")
     select = copy.deepcopy(query)

@@ -57,10 +57,16 @@ class EvalEnv:
 class ExecutionContext:
     """Shared state for one query execution."""
 
-    def __init__(self, catalog, *, enable_cache: bool = True, params=()):
+    def __init__(
+        self, catalog, *, enable_cache: bool = True, params=(), profiler=None
+    ):
         self.catalog = catalog
         self.enable_cache = enable_cache
         self.params = tuple(params)
+        #: Optional :class:`repro.profile.Profiler`.  None (the default)
+        #: means every instrumentation site is a single attribute check;
+        #: no timers run and no spans are allocated.
+        self.profiler = profiler
         self.subquery_cache: dict = {}
         self.measure_cache: dict = {}
         self.source_rows_cache: dict = {}
@@ -291,6 +297,9 @@ def _run_aggregate(
 ) -> Any:
     from repro.engine.aggregates import make_accumulator
 
+    if ctx.profiler is not None:
+        ctx.profiler.bump("aggregate_invocations")
+        ctx.profiler.bump("aggregate_input_rows", len(rows))
     if call.within_distinct:
         rows = _within_distinct_representatives(call, rows, env, ctx)
     accumulator = make_accumulator(call.func, call.star)

@@ -26,11 +26,27 @@ def execute_plan(
     ctx: ExecutionContext,
     outer_env: Optional[EvalEnv] = None,
 ) -> list[tuple]:
-    """Execute ``plan`` and return its rows."""
+    """Execute ``plan`` and return its rows.
+
+    With a profiler attached, every operator execution is bracketed by an
+    operator span and accumulates per-node metrics (rows in/out, calls,
+    wall time); without one, the only overhead is a single ``is None``
+    check per operator execution.
+    """
     method = _DISPATCH.get(type(plan))
     if method is None:
         raise ExecutionError(f"cannot execute {type(plan).__name__}")
-    return method(plan, ctx, outer_env)
+    profiler = ctx.profiler
+    if profiler is None:
+        return method(plan, ctx, outer_env)
+    token = profiler.enter_operator(plan)
+    try:
+        rows = method(plan, ctx, outer_env)
+    except BaseException:
+        profiler.abort_operator(token)
+        raise
+    profiler.exit_operator(token, len(rows))
+    return rows
 
 
 def _execute_scan(plan: plans.Scan, ctx: ExecutionContext, outer_env) -> list[tuple]:
@@ -95,6 +111,10 @@ def _execute_join(plan: plans.Join, ctx: ExecutionContext, outer_env) -> list[tu
         )
 
     ctx.nested_loop_joins += 1
+    if ctx.profiler is not None:
+        ctx.profiler.operator_count(
+            plan, "comparisons", len(left_rows) * len(right_rows)
+        )
     right_matched = [False] * len(right_rows)
     for left in left_rows:
         matched = False
@@ -179,6 +199,9 @@ def _hash_join(
     outer_env,
 ) -> list[tuple]:
     """Equi-hash join with residual predicate and outer-join padding."""
+    if ctx.profiler is not None:
+        ctx.profiler.operator_count(plan, "hash_build_rows", len(right_rows))
+        ctx.profiler.operator_count(plan, "hash_probes", len(left_rows))
     table: dict[tuple, list[int]] = {}
     for index, right in enumerate(right_rows):
         key = tuple(right[r] for _, r in equi_keys)
@@ -290,6 +313,8 @@ def _execute_aggregate(plan: plans.Aggregate, ctx: ExecutionContext, outer_env) 
             if plan.capture_rows:
                 row_out += (tuple(group_rows),)
             output.append(row_out)
+    if ctx.profiler is not None:
+        ctx.profiler.operator_count(plan, "groups", len(output))
     return output
 
 

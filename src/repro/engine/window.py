@@ -55,6 +55,9 @@ def compute_window_column(
         env = EvalEnv(row, outer_env)
         key = tuple(evaluate(expr, env, ctx) for expr in call.partition_by)
         partitions.setdefault(key, []).append(index)
+    if ctx.profiler is not None:
+        ctx.profiler.bump("window_calls")
+        ctx.profiler.bump("window_partitions", len(partitions))
 
     for indexes in partitions.values():
         ordered = _order_partition(call, rows, indexes, outer_env, ctx)

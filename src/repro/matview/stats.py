@@ -34,11 +34,26 @@ class SummaryStats:
     #: Reject counts per matchability rule (e.g. ``missing-dimension``),
     #: so the opaque ``rejects`` total can be broken down.
     reject_reasons: dict[str, int] = field(default_factory=dict)
+    #: Total wall time (ms) of queries answered from this summary.  Together
+    #: with ``miss_time_ms`` this quantifies what the summary buys: average
+    #: hit latency vs. average latency of queries it was a candidate for but
+    #: could not answer.  Latency is only measured when the view was at
+    #: least a candidate, so idle summaries cost nothing.
+    hit_time_ms: float = 0.0
+    #: Total wall time (ms) of queries where this summary was a candidate
+    #: but was rejected or skipped as stale (the query ran from source).
+    miss_time_ms: float = 0.0
 
     def record_reject(self, reason: str, rule: str = "unknown") -> None:
         self.rejects += 1
         self.last_reject_reason = reason
         self.reject_reasons[rule] = self.reject_reasons.get(rule, 0) + 1
+
+    def record_hit_latency(self, elapsed_ms: float) -> None:
+        self.hit_time_ms += elapsed_ms
+
+    def record_miss_latency(self, elapsed_ms: float) -> None:
+        self.miss_time_ms += elapsed_ms
 
     def as_dict(self) -> dict:
         return {
@@ -50,4 +65,6 @@ class SummaryStats:
             "invalidations": self.invalidations,
             "last_reject_reason": self.last_reject_reason,
             "reject_reasons": dict(self.reject_reasons),
+            "hit_time_ms": round(self.hit_time_ms, 3),
+            "miss_time_ms": round(self.miss_time_ms, 3),
         }

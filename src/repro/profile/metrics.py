@@ -1,0 +1,80 @@
+"""Per-operator runtime metrics.
+
+One :class:`OperatorMetrics` accumulates over every execution of one logical
+plan node within a single query (a node re-entered per outer row — a
+correlated subquery plan — accumulates across calls; ``calls`` says how
+often).  The profiler keys metrics by plan-node identity and freezes them
+into the operator tree of a :class:`~repro.profile.profiler.QueryProfile`.
+
+``rows_in`` is *measured*, not derived: when a child operator finishes, the
+profiler adds the child's observed output cardinality to the enclosing
+operator's ``rows_in`` — but only if the child is a direct plan input of
+that operator, so subqueries executed from inside an expression do not
+pollute their host operator's input count.  The cardinality-consistency
+property tests (reported ``rows_out`` of the root == observed result rows;
+child ``rows_out`` == parent ``rows_in``) lean on this being an observation
+rather than a definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["OperatorMetrics"]
+
+
+class OperatorMetrics:
+    """Accumulated counters for one plan operator."""
+
+    __slots__ = ("label", "calls", "rows_in", "rows_out", "batches", "time_ns", "counters")
+
+    def __init__(self, label: str):
+        self.label = label
+        #: Number of times the operator was executed (re-entrant plans >1).
+        self.calls = 0
+        #: Rows received from direct plan inputs, summed over calls.
+        self.rows_in = 0
+        #: Rows produced, summed over calls.
+        self.rows_out = 0
+        #: Materialized row batches produced (one per call in this
+        #: operator-at-a-time engine; kept explicit so a future vectorized
+        #: executor reports real batch counts through the same field).
+        self.batches = 0
+        #: Wall time spent inside the operator, children included.
+        self.time_ns = 0
+        #: Operator-specific counters (hash_probes, comparisons, groups...).
+        self.counters: dict[str, int] = {}
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+    def count(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def to_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "label": self.label,
+            "calls": self.calls,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "batches": self.batches,
+            "time_ms": round(self.time_ms, 3),
+        }
+        if self.counters:
+            entry["counters"] = {k: self.counters[k] for k in sorted(self.counters)}
+        return entry
+
+    def describe(self, *, timing: bool = True) -> str:
+        """The ``(rows=... )`` annotation EXPLAIN ANALYZE appends."""
+        parts = [f"rows={self.rows_out}", f"calls={self.calls}"]
+        if self.rows_in:
+            parts.append(f"rows_in={self.rows_in}")
+        if timing:
+            parts.append(f"time={self.time_ms:.3f}ms")
+        for key in sorted(self.counters):
+            parts.append(f"{key}={self.counters[key]}")
+        return "(" + " ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OperatorMetrics({self.label!r}, {self.describe()})"

@@ -1,0 +1,164 @@
+"""A lightweight nesting span tracer.
+
+A :class:`Span` records one timed region — a query phase, one plan-operator
+execution, or one measure-context evaluation.  Spans form a tree: the
+:class:`Tracer` keeps an explicit stack, so ``begin``/``end`` pairs nest
+without any thread-local or context-variable machinery.  The explicit pair
+(rather than a context manager) keeps the instrumented hot path free of
+generator overhead; callers that prefer ``with`` can use :meth:`Tracer.span`.
+
+Spans are bounded: once ``max_spans`` children have been allocated the
+tracer stops recording new ones (counters and operator metrics keep
+accumulating elsewhere), so a correlated subquery re-executed once per outer
+row cannot make a trace arbitrarily large.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region of a query's lifetime.
+
+    ``kind`` classifies the span: ``"query"`` (the root), ``"phase"``
+    (parse/bind/optimize/execute), ``"operator"`` (one plan-operator
+    execution), ``"measure"`` (one measure-context evaluation), or
+    ``"expand"`` (one rewrite-strategy attempt).  ``meta`` holds small
+    JSON-safe annotations (row counts, cache verdicts, strategy names).
+    """
+
+    __slots__ = ("name", "kind", "start_ns", "end_ns", "children", "meta")
+
+    def __init__(self, name: str, kind: str = "phase"):
+        self.name = name
+        self.kind = kind
+        self.start_ns: int = 0
+        self.end_ns: int = 0
+        self.children: list["Span"] = []
+        self.meta: dict[str, Any] = {}
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds (0.0 while the span is still open)."""
+        if self.end_ns <= self.start_ns:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e6
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in pre-order, or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """Stable serialization: keys are fixed, children are in start
+        order, durations are milliseconds rounded to 3 decimals."""
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.meta:
+            entry["meta"] = {k: self.meta[k] for k in sorted(self.meta)}
+        if self.children:
+            entry["children"] = [c.to_dict() for c in self.children]
+        return entry
+
+    def tree_lines(self, indent: int = 0, *, timing: bool = True) -> list[str]:
+        """Render the span tree, one line per span."""
+        label = f"{'  ' * indent}{self.name}"
+        if timing:
+            label += f" [{self.duration_ms:.3f} ms]"
+        if self.meta:
+            pairs = " ".join(f"{k}={self.meta[k]}" for k in sorted(self.meta))
+            label += f" ({pairs})"
+        lines = [label]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1, timing=timing))
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.kind}, {self.duration_ms:.3f}ms)"
+
+
+class Tracer:
+    """Collects a tree of spans for one query execution."""
+
+    __slots__ = ("root", "_stack", "_clock", "_spans", "max_spans", "dropped")
+
+    def __init__(self, *, max_spans: int = 20_000, clock=time.perf_counter_ns):
+        self._clock = clock
+        self.max_spans = max_spans
+        self._spans = 0
+        #: Spans that could not be recorded because the budget ran out.
+        self.dropped = 0
+        self.root = Span("query", "query")
+        self.root.start_ns = clock()
+        self._stack: list[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def begin(self, name: str, kind: str = "phase") -> Optional[Span]:
+        """Open a child span of the current span.
+
+        Returns None when the span budget is exhausted; :meth:`end` accepts
+        None so call sites stay unconditional.
+        """
+        if self._spans >= self.max_spans:
+            self.dropped += 1
+            return None
+        self._spans += 1
+        span = Span(name, kind)
+        span.start_ns = self._clock()
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span]) -> None:
+        """Close ``span``; no-op for None (a dropped begin)."""
+        if span is None:
+            return
+        span.end_ns = self._clock()
+        # Pop back to the span's parent even if callers leaked inner spans
+        # (an exception unwound past their end() calls).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end_ns == 0:
+                dangling.end_ns = span.end_ns
+        if self._stack:
+            self._stack.pop()
+        if not self._stack:  # never pop the root's slot entirely
+            self._stack.append(self.root)
+
+    @contextmanager
+    def span(self, name: str, kind: str = "phase"):
+        """``with tracer.span("bind"):`` convenience wrapper."""
+        span = self.begin(name, kind)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def finish(self) -> Span:
+        """Close every open span (including the root) and return the root."""
+        now = self._clock()
+        while len(self._stack) > 1:
+            open_span = self._stack.pop()
+            if open_span.end_ns == 0:
+                open_span.end_ns = now
+        if self.root.end_ns == 0:
+            self.root.end_ns = now
+        return self.root

@@ -650,13 +650,25 @@ class ExplainExpand(Statement):
 
 @dataclass
 class ExplainPlan(Statement):
-    """``EXPLAIN [(LINT)] <query>``: the optimized logical plan as text.
+    """``EXPLAIN [ANALYZE | (options)] <statement>``.
 
-    With the ``(LINT)`` option, static-analysis diagnostics for the query
-    are prepended to the plan as ``lint:`` lines."""
+    Options (parenthesized, comma-separated, any order) or the bare
+    ``ANALYZE`` keyword:
 
-    query: Query
+    * ``LINT`` — prepend static-analysis diagnostics as ``lint:`` lines;
+    * ``ANALYZE`` — actually execute the query and render the operator tree
+      annotated with observed row counts, call counts, and wall time.
+
+    ``query`` is the explained query; it is None when EXPLAIN wraps a
+    DDL/DML statement instead, in which case ``target`` holds that
+    statement.  Such statements parse (so lint can flag them — rule RP111)
+    but refuse to execute: this engine plans only queries.
+    """
+
+    query: Optional[Query]
     lint: bool = False
+    analyze: bool = False
+    target: Optional[Statement] = None
 
 
 StatementLike = Union[Statement, Query]

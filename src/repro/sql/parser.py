@@ -186,19 +186,48 @@ class _Parser:
                 self.advance()
                 return ast.ExplainExpand(self._query())
             lint = False
-            # EXPLAIN (LINT) query — the lookahead distinguishes the option
-            # list from a parenthesized query: EXPLAIN (SELECT ...) stays a
-            # plain EXPLAIN.
+            analyze = False
+            # Bare ANALYZE keyword: EXPLAIN ANALYZE <query>.
             if (
+                self.current.type is TokenType.IDENT
+                and str(self.current.value).upper() == "ANALYZE"
+            ):
+                self.advance()
+                analyze = True
+            # EXPLAIN (LINT[, ANALYZE]) query — the lookahead distinguishes
+            # the option list from a parenthesized query: EXPLAIN (SELECT
+            # ...) stays a plain EXPLAIN.
+            elif (
                 self.at_operator("(")
                 and self.peek(1).type is TokenType.IDENT
-                and str(self.peek(1).value).upper() == "LINT"
+                and str(self.peek(1).value).upper() in ("LINT", "ANALYZE")
             ):
                 self.advance()  # '('
-                self.advance()  # LINT
+                while True:
+                    option = self.expect_ident("EXPLAIN option").upper()
+                    if option == "LINT":
+                        lint = True
+                    elif option == "ANALYZE":
+                        analyze = True
+                    else:
+                        raise self.error(
+                            f"unknown EXPLAIN option {option}; "
+                            "expected LINT or ANALYZE"
+                        )
+                    if not self.accept_operator(","):
+                        break
                 self.expect_operator(")")
-                lint = True
-            return ast.ExplainPlan(self._query(), lint=lint)
+            if not (
+                self.at_keyword("SELECT", "WITH", "VALUES")
+                or self.at_operator("(")
+            ):
+                # EXPLAIN over DDL/DML: parses (so the linter can flag it,
+                # rule RP111) but refuses to execute.
+                target = self._statement()
+                return ast.ExplainPlan(
+                    None, lint=lint, analyze=analyze, target=target
+                )
+            return ast.ExplainPlan(self._query(), lint=lint, analyze=analyze)
         if self.at_keyword("SELECT", "WITH", "VALUES") or self.at_operator("("):
             return ast.QueryStatement(self._query())
         raise self.error("expected a statement")

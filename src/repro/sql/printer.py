@@ -414,8 +414,18 @@ class _Printer:
         return f"TRUNCATE TABLE {_ident(node.table)}"
 
     def _render_ExplainPlan(self, node: ast.ExplainPlan) -> str:
-        option = "(LINT) " if node.lint else ""
-        return f"EXPLAIN {option}{self.render(node.query)}"
+        # Canonical option form: bare ANALYZE when it is the only option,
+        # parenthesized list otherwise (LINT always prints inside parens).
+        if node.lint and node.analyze:
+            option = "(LINT, ANALYZE) "
+        elif node.lint:
+            option = "(LINT) "
+        elif node.analyze:
+            option = "ANALYZE "
+        else:
+            option = ""
+        inner = node.query if node.query is not None else node.target
+        return f"EXPLAIN {option}{self.render(inner)}"
 
     def _render_Update(self, node: ast.Update) -> str:
         sets = ", ".join(

@@ -169,3 +169,43 @@ def test_differential_case_expression(rows):
     sql = """SELECT k, CASE WHEN v IS NULL THEN -1 WHEN v > 0 THEN 1 ELSE 0 END
              FROM t"""
     assert canonical(run_repro(rows, sql)) == canonical(run_sqlite(rows, sql))
+
+
+# -- profiling differential: observation must not perturb results ------------
+
+
+def run_repro_profiled(rows, sql: str) -> tuple[list[tuple], object]:
+    db = Database(profile=True)
+    db.create_table_from_rows(
+        "t",
+        [("k", "INTEGER"), ("g", "VARCHAR"), ("v", "INTEGER"), ("w", "INTEGER")],
+        rows,
+    )
+    result = db.execute(sql)
+    return result.rows, db.last_profile()
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows_strategy, simple_query())
+def test_differential_profile_on_off(rows, sql):
+    """profile=True is pure observation: identical rows (exact order, not
+    just multiset), and the profile's root cardinality matches."""
+    plain = run_repro(rows, sql)
+    profiled, profile = run_repro_profiled(rows, sql)
+    assert profiled == plain
+    assert profile is not None
+    assert profile.result_rows == len(plain)
+    assert profile.operator_tree["rows_out"] == len(plain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_differential_profile_correlated(rows):
+    sql = """SELECT g, v FROM t AS o
+             WHERE v > (SELECT MIN(v) FROM t AS i WHERE i.g = o.g)"""
+    plain = run_repro(rows, sql)
+    profiled, profile = run_repro_profiled(rows, sql)
+    assert profiled == plain
+    # Against the external oracle too, under profiling.
+    assert canonical(profiled) == canonical(run_sqlite(rows, sql))
+    assert profile.counters["subquery_executions"] >= 0

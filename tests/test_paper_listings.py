@@ -379,3 +379,139 @@ def test_e08_listing8_expands_statically(paper_db):
     expanded = paper_db.expand(LISTING8)
     assert "UNION ALL" in expanded
     assert paper_db.execute(expanded).rows == paper_db.execute(LISTING8).rows
+
+
+# -- profiling the paper listings ---------------------------------------------
+
+LISTING1 = """
+SELECT prodName, COUNT(*) AS c,
+       (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+FROM Orders GROUP BY prodName ORDER BY prodName
+"""
+LISTING2_QUERY = """
+SELECT prodName, AVG(profitMargin) FROM SummarizedOrders
+GROUP BY prodName ORDER BY prodName
+"""
+LISTING4 = """
+SELECT prodName, AGGREGATE(profitMargin), COUNT(*)
+FROM EnhancedOrders GROUP BY prodName ORDER BY prodName
+"""
+LISTING6 = """
+SELECT prodName, sumRevenue,
+       sumRevenue / sumRevenue AT (ALL prodName) AS proportionOfTotalRevenue
+FROM (SELECT *, SUM(revenue) AS MEASURE sumRevenue FROM Orders) AS o
+GROUP BY prodName ORDER BY prodName
+"""
+LISTING7 = """
+SELECT prodName, orderYear, profitMargin,
+       profitMargin AT (SET orderYear = CURRENT orderYear - 1)
+         AS profitMarginLastYear
+FROM (SELECT *,
+        (SUM(revenue) - SUM(cost)) / SUM(revenue) AS MEASURE profitMargin,
+        YEAR(orderDate) AS orderYear
+      FROM Orders)
+WHERE orderYear = 2024 GROUP BY prodName, orderYear
+"""
+E12_MATRIX = """
+SELECT prodName, r AS base, r AT (ALL) AS grandTotal,
+       r AT (ALL custName) AS allCust,
+       r AT (SET orderYear = CURRENT orderYear - 1) AS lastYear,
+       r AT (VISIBLE) AS vis,
+       r AT (WHERE orderYear = 2023) AS y2023
+FROM mv WHERE custName <> 'Bob'
+GROUP BY prodName ORDER BY prodName
+"""
+E12_ALL_BARE = """
+SELECT prodName, r AT (ALL) AS total FROM mv
+GROUP BY prodName ORDER BY prodName
+"""
+E12_ADHOC = """
+SELECT prodName, sr AT (SET YEAR(orderDate) = 2023) AS y23
+FROM (SELECT *, SUM(revenue) AS MEASURE sr FROM Orders)
+GROUP BY prodName ORDER BY prodName
+"""
+
+#: All fifteen paper listings the acceptance criteria name, by id.
+ALL_LISTINGS = {
+    "listing1": LISTING1,
+    "listing2": LISTING2_QUERY,
+    "listing4": LISTING4,
+    "listing6": LISTING6,
+    "listing7": LISTING7,
+    "listing8": LISTING8,
+    "listing9": LISTING9,
+    "listing10": LISTING10,
+    "listing12-q1": LISTING12_Q1,
+    "listing12-q2": LISTING12_Q2,
+    "listing12-q3": LISTING12_Q3,
+    "listing12-q4": LISTING12_Q4,
+    "table3-matrix": E12_MATRIX,
+    "table3-all-bare": E12_ALL_BARE,
+    "table3-adhoc-dim": E12_ADHOC,
+}
+
+
+def _full_db() -> Database:
+    from repro.workloads.paper_data import load_paper_tables
+
+    db = Database()
+    load_paper_tables(db)
+    db.execute(
+        """CREATE VIEW EnhancedOrders AS
+           SELECT orderDate, prodName,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue)
+                    AS MEASURE profitMargin
+           FROM Orders"""
+    )
+    db.execute(
+        """CREATE VIEW SummarizedOrders AS
+           SELECT prodName, orderDate,
+                  (SUM(revenue) - SUM(cost)) / SUM(revenue) AS profitMargin
+           FROM Orders GROUP BY prodName, orderDate"""
+    )
+    db.execute(E12_VIEW)
+    return db
+
+
+@pytest.fixture(scope="module")
+def listings_profiled_db() -> Database:
+    db = _full_db()
+    db.profile_enabled = True
+    return db
+
+
+@pytest.fixture(scope="module")
+def listings_plain_db() -> Database:
+    return _full_db()
+
+
+@pytest.mark.parametrize("listing", list(ALL_LISTINGS))
+def test_every_listing_profile_on_off_identical(
+    listing, listings_profiled_db, listings_plain_db
+):
+    """Profiling is pure observation: every paper listing returns the exact
+    same rows with profile=True and profile=False."""
+    sql = ALL_LISTINGS[listing]
+    profiled = listings_profiled_db.execute(sql)
+    plain = listings_plain_db.execute(sql)
+    assert profiled.rows == plain.rows
+    profile = listings_profiled_db.last_profile()
+    assert profile is not None
+    assert profile.result_rows == len(plain.rows)
+    assert profile.operator_tree["rows_out"] == len(plain.rows)
+
+
+@pytest.mark.parametrize("listing", list(ALL_LISTINGS))
+def test_every_listing_explain_analyze_renders(listing, listings_plain_db):
+    """EXPLAIN ANALYZE renders an annotated operator tree — per-operator
+    rows and timing — for all fifteen paper listings."""
+    result = listings_plain_db.execute(
+        f"EXPLAIN ANALYZE {ALL_LISTINGS[listing]}"
+    )
+    lines = [line for (line,) in result.rows]
+    operator_lines = [
+        line for line in lines if "rows=" in line and "time=" in line
+    ]
+    assert operator_lines, f"no annotated operators for {listing}"
+    assert any(line.startswith("phases:") for line in lines)
+    assert any(line.startswith("counters:") for line in lines)

@@ -15,6 +15,8 @@ TOKENS = [
     "CURRENT", "AND", "OR", "NOT", "NULL", "(", ")", ",", "*", "+", "-",
     "/", "=", "<", ">", "x", "y", "t", "u", "1", "2", "'s'", ";", ".",
     "CASE", "WHEN", "THEN", "END", "ROLLUP", "UNION", "LIMIT", "IN",
+    "EXPLAIN", "ANALYZE", "LINT", "EXPAND", "DROP", "TABLE", "INSERT",
+    "INTO", "VALUES",
 ]
 
 
@@ -64,6 +66,53 @@ def test_execute_never_crashes(tokens):
 def test_successful_parse_round_trips(tokens):
     """Whatever parses must print and re-parse to a fixed point."""
     sql = " ".join(tokens)
+    try:
+        statement = parse_statement(sql)
+    except (SqlError, RecursionError):
+        return
+    printed = to_sql(statement)
+    assert to_sql(parse_statement(printed)) == printed
+
+
+# -- targeted EXPLAIN option forms -------------------------------------------
+
+EXPLAIN_FORMS = [
+    "EXPLAIN SELECT x FROM t",
+    "EXPLAIN ANALYZE SELECT x FROM t",
+    "EXPLAIN (LINT) SELECT x FROM t",
+    "EXPLAIN (ANALYZE) SELECT x FROM t",
+    "EXPLAIN (LINT, ANALYZE) SELECT x FROM t",
+    "EXPLAIN (ANALYZE, LINT) SELECT x FROM t",
+    "EXPLAIN EXPAND SELECT x FROM t",
+    "EXPLAIN (SELECT x FROM t)",          # parenthesized query, not options
+    "EXPLAIN ANALYZE (SELECT x FROM t)",
+    "EXPLAIN ANALYZE DROP TABLE t",       # DDL target: parses, lints RP111
+    "EXPLAIN INSERT INTO t VALUES (1)",
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sampled_from(EXPLAIN_FORMS))
+def test_explain_forms_round_trip(sql):
+    """Every EXPLAIN option form parses, prints canonically, and the
+    printed form is a fixed point of parse-print."""
+    printed = to_sql(parse_statement(sql))
+    assert printed.startswith("EXPLAIN")
+    assert to_sql(parse_statement(printed)) == printed
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["LINT", "ANALYZE", ",", "(", ")"]),
+        min_size=0,
+        max_size=6,
+    )
+)
+def test_explain_option_soup_never_crashes(tokens):
+    """Arbitrary option-ish token soup after EXPLAIN is either parsed or
+    rejected with a typed error."""
+    sql = "EXPLAIN " + " ".join(tokens) + " SELECT x FROM t"
     try:
         statement = parse_statement(sql)
     except (SqlError, RecursionError):
