@@ -1,6 +1,9 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test bench report snapshot shell examples lint validate all
+.PHONY: test bench report snapshot compare shell examples lint validate all
+
+# The committed perf baseline the regression gate compares against.
+BASELINE ?= benchmarks/BENCH_2026-08-06.json
 
 test:
 	pytest tests/
@@ -13,6 +16,11 @@ report:
 
 snapshot:
 	python -m benchmarks.report --snapshot --out benchmarks/
+
+compare:
+	rm -rf .bench-compare && mkdir -p .bench-compare
+	python -m benchmarks.report --snapshot --out .bench-compare/ --repeats 5
+	python -m benchmarks.report --compare $(BASELINE) .bench-compare/BENCH_*.json
 
 shell:
 	python -m repro

@@ -2,8 +2,10 @@
 
 Run with::
 
-    python -m benchmarks.report                # correctness report
-    python -m benchmarks.report --snapshot     # write BENCH_<date>.json
+    python -m benchmarks.report                       # correctness report
+    python -m benchmarks.report --snapshot            # write BENCH_<date>.json
+    python -m benchmarks.report --compare OLD NEW     # perf regression gate
+    python -m benchmarks.report --telemetry-out T.json  # telemetry artifact
 
 This is the no-timing companion to the pytest-benchmark suite: it prints the
 paper's expected values next to the engine's measured output for each
@@ -202,6 +204,154 @@ def _timed_run(db: Database, sql: str) -> float:
     return time.perf_counter() - start
 
 
+# -- regression gate (--compare) ---------------------------------------------
+
+#: Default relative noise threshold for the regression gate.  In-process
+#: wall times on shared CI runners jitter heavily at the sub-millisecond
+#: scale these listings run at, so the gate only fails on a wall-time
+#: increase of more than 50% that is ALSO more than 2ms in absolute terms.
+COMPARE_THRESHOLD = 0.5
+COMPARE_ABS_FLOOR_MS = 2.0
+
+
+def _load_snapshot(path: str) -> dict:
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        raise SystemExit(
+            f"{path}: expected schema {SNAPSHOT_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def compare_snapshots(
+    old_path: str,
+    new_path: str,
+    *,
+    threshold: float = COMPARE_THRESHOLD,
+    abs_floor_ms: float = COMPARE_ABS_FLOOR_MS,
+    out=None,
+) -> int:
+    """Diff two repro-bench-v1 snapshots per listing; the CI perf gate.
+
+    A listing regresses when its wall time grows by more than
+    ``threshold`` (relative) AND more than ``abs_floor_ms`` (absolute) —
+    both conditions, so micro-listings cannot fail on scheduler noise.
+    Row-count changes and listings missing from the new snapshot always
+    fail.  Prints a markdown table and returns the exit code (0 clean,
+    1 regressions found).
+    """
+    out = out or sys.stdout
+    old = _load_snapshot(old_path)
+    new = _load_snapshot(new_path)
+    old_listings = old.get("listings", {})
+    new_listings = new.get("listings", {})
+
+    rows: list[tuple[str, str, str, str, str]] = []
+    failures: list[str] = []
+    for name in sorted(old_listings):
+        entry = old_listings[name]
+        candidate = new_listings.get(name)
+        old_ms = float(entry["wall_ms"])
+        if candidate is None:
+            rows.append((name, f"{old_ms:.3f}", "-", "-", "REMOVED"))
+            failures.append(f"{name}: listing missing from {new_path}")
+            continue
+        new_ms = float(candidate["wall_ms"])
+        delta = new_ms - old_ms
+        pct = (delta / old_ms * 100.0) if old_ms else float("inf")
+        pct_text = f"{pct:+.1f}%" if pct != float("inf") else "+inf"
+        if candidate.get("rows") != entry.get("rows"):
+            status = "ROWS CHANGED"
+            failures.append(
+                f"{name}: result cardinality changed "
+                f"({entry.get('rows')} -> {candidate.get('rows')})"
+            )
+        elif delta > abs_floor_ms and old_ms and delta > old_ms * threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {old_ms:.3f}ms -> {new_ms:.3f}ms ({pct_text})"
+            )
+        elif -delta > abs_floor_ms and old_ms and -delta > old_ms * threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            (name, f"{old_ms:.3f}", f"{new_ms:.3f}", pct_text, status)
+        )
+    for name in sorted(set(new_listings) - set(old_listings)):
+        new_ms = float(new_listings[name]["wall_ms"])
+        rows.append((name, "-", f"{new_ms:.3f}", "-", "added"))
+
+    print(f"# Bench comparison: {old_path} -> {new_path}", file=out)
+    print(file=out)
+    print(
+        f"Gate: fail when wall time grows > {threshold * 100:.0f}% "
+        f"and > {abs_floor_ms}ms.",
+        file=out,
+    )
+    print(file=out)
+    print("| listing | old ms | new ms | delta | status |", file=out)
+    print("|---|---:|---:|---:|---|", file=out)
+    for name, old_ms, new_ms, pct_text, status in rows:
+        print(
+            f"| {name} | {old_ms} | {new_ms} | {pct_text} | {status} |",
+            file=out,
+        )
+    print(file=out)
+    if failures:
+        print(f"{len(failures)} FAILURE(S):", file=out)
+        for failure in failures:
+            print(f"  {failure}", file=out)
+        return 1
+    print("No regressions.", file=out)
+    return 0
+
+
+# -- telemetry artifact (--telemetry-out) ------------------------------------
+
+
+def write_telemetry(out_path: str) -> str:
+    """Run every snapshot listing under ``Database(telemetry=True)`` and
+    write the metrics snapshot, Prometheus text, events, and trace export
+    as one JSON artifact (CI uploads it next to the bench snapshot)."""
+    import json
+    import os
+    from datetime import datetime, timezone
+
+    from benchmarks.bench_listings import LISTING12
+    from repro.telemetry import Telemetry
+
+    db = _snapshot_database()
+    db.telemetry = Telemetry(slow_query_ms=50.0)
+    queries = dict(SNAPSHOT_QUERIES)
+    for name, sql in LISTING12.items():
+        queries[f"e11-{name}"] = sql
+    for sql in queries.values():
+        db.execute(sql)
+
+    payload = {
+        "schema": "repro-telemetry-v1",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "metrics_text": db.metrics_text(),
+        "metrics": db.metrics(),
+        "events": db.events(),
+        "slow_queries": db.slow_queries(),
+        "traces": json.loads(db.export_traces()),
+    }
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"wrote {out_path} ({len(queries)} listings metered)")
+    return out_path
+
+
 def main() -> int:
     db = Database()
     load_paper_tables(db)
@@ -398,7 +548,47 @@ def cli(argv: list[str] | None = None) -> int:
         help="embed the 'benchmarks' list of a pytest-benchmark --benchmark-json "
         "file into the snapshot",
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        default=None,
+        help="diff two repro-bench-v1 snapshots and exit non-zero on a "
+        "wall-time regression (the CI bench gate)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=COMPARE_THRESHOLD,
+        help="relative regression threshold for --compare "
+        f"(default {COMPARE_THRESHOLD}, i.e. {COMPARE_THRESHOLD * 100:.0f}%%)",
+    )
+    parser.add_argument(
+        "--abs-ms",
+        type=float,
+        default=COMPARE_ABS_FLOOR_MS,
+        help="absolute wall-time floor in ms a regression must also exceed "
+        f"(default {COMPARE_ABS_FLOOR_MS})",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE.json",
+        help="run the snapshot listings under Database(telemetry=True) and "
+        "write metrics + events + traces to FILE.json",
+    )
     args = parser.parse_args(argv)
+    if args.compare is not None:
+        return compare_snapshots(
+            args.compare[0],
+            args.compare[1],
+            threshold=args.threshold,
+            abs_floor_ms=args.abs_ms,
+        )
+    if args.telemetry_out is not None:
+        write_telemetry(args.telemetry_out)
+        if not args.snapshot:
+            return 0
     if args.snapshot:
         write_snapshot(
             args.out, repeats=args.repeats, pytest_json=args.pytest_json

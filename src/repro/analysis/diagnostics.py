@@ -66,6 +66,10 @@ RULES: dict[str, tuple[Severity, str]] = {
         Severity.ERROR,
         "EXPLAIN [ANALYZE] applied to a DDL/DML statement",
     ),
+    "RP112": (
+        Severity.ERROR,
+        "SHOW STATS nested inside a view, subquery, or EXPLAIN",
+    ),
 }
 
 

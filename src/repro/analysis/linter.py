@@ -62,8 +62,20 @@ def lint_sql(catalog, sql: str) -> list[Diagnostic]:
 def lint_statement(catalog, statement: ast.Statement) -> list[Diagnostic]:
     """Lint a parsed statement (dispatches to :func:`lint_query`)."""
     if isinstance(statement, ast.QueryStatement):
+        if isinstance(statement.query, ast.ShowStats):
+            return []  # the one position where SHOW STATS is legal
         return lint_query(catalog, statement.query)
     if isinstance(statement, ast.ExplainPlan):
+        if isinstance(statement.query, ast.ShowStats):
+            return [
+                _diag(
+                    "RP112",
+                    "EXPLAIN cannot apply to SHOW STATS; it is answered "
+                    "from the telemetry registry and has no plan",
+                    ast.node_span(statement.query),
+                    hint="run SHOW STATS directly",
+                )
+            ]
         if statement.query is None:
             # EXPLAIN [ANALYZE] over DDL/DML parses but never executes:
             # only queries have plans.  Lint the wrapped statement too, so
@@ -318,6 +330,17 @@ class _Linter:
         elif isinstance(query, ast.Values):
             for sub in _sub_queries(query):
                 self.lint_query(sub)
+        elif isinstance(query, ast.ShowStats):
+            # Reaching here means the node is nested (lint_statement returns
+            # early for the legal top-level form).
+            self.report(
+                "RP112",
+                "SHOW STATS is a top-level statement; it cannot be nested "
+                "inside a view, subquery, or set operation",
+                query,
+                hint="query the metrics from application code via "
+                "Database.metrics() instead",
+            )
 
     def _lint_with(self, query: ast.WithQuery, *, view_def: bool) -> None:
         saved = dict(self.ctes)

@@ -68,6 +68,18 @@ class Database:
         executor pays a single ``is None`` check per operator and no timers
         run.  ``EXPLAIN ANALYZE`` profiles a single query regardless of
         this flag.
+    telemetry:
+        Database-lifetime observability (:mod:`repro.telemetry`): cumulative
+        metrics (:meth:`metrics`, :meth:`metrics_text`, ``SHOW STATS``), a
+        structured event log (:meth:`events`), and a trace export
+        (:meth:`export_traces`).  Pass True for defaults or a pre-built
+        :class:`~repro.telemetry.Telemetry` to configure capacities and
+        sinks.  Off by default; when off, the query path pays one ``is
+        None`` check.
+    slow_query_ms:
+        Capture SQL, duration, and the full QueryProfile of every statement
+        at or over this wall-time threshold (:meth:`slow_queries`).  Setting
+        it implies ``telemetry=True``.
     """
 
     def __init__(
@@ -78,6 +90,8 @@ class Database:
         summaries: bool = True,
         validate: Optional[bool] = None,
         profile: bool = False,
+        telemetry=False,
+        slow_query_ms: Optional[float] = None,
     ):
         from repro.analysis.validator import validation_enabled
 
@@ -89,6 +103,19 @@ class Database:
             validation_enabled() if validate is None else validate
         )
         self.profile_enabled = profile
+        if telemetry is False and slow_query_ms is None:
+            #: The Telemetry facade, or None when telemetry is off.
+            self.telemetry = None
+        elif telemetry is False or telemetry is True:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry(slow_query_ms=slow_query_ms)
+        else:  # a caller-configured Telemetry instance
+            self.telemetry = telemetry
+            if slow_query_ms is not None:
+                raise ValueError(
+                    "pass slow_query_ms to the Telemetry instance, not both"
+                )
         #: Internal: True while a refresh/delta query runs, so a summary's
         #: own definition is never answered from the (old) summary itself.
         self._suppress_summaries = False
@@ -96,6 +123,9 @@ class Database:
         self.last_stats: Optional[ExecutionContext] = None
         #: QueryProfile of the most recent profiled query (see last_profile).
         self._last_profile = None
+        #: CandidateReports of the most recent top-level query's summary
+        #: rewrite (telemetry uses them to label the execution strategy).
+        self._last_rewrite_reports: list = []
 
     # -- statement execution ----------------------------------------------
 
@@ -105,6 +135,8 @@ class Database:
         ``params`` supplies values for positional ``?`` placeholders, in
         order (DB-API style).
         """
+        if self.telemetry is not None:
+            return self._execute_traced(sql, params)
         if not self.profile_enabled:
             return self._execute_statement(parse_statement(sql), params)
         from repro.profile import Profiler
@@ -120,7 +152,90 @@ class Database:
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a semicolon-separated script; returns one Result each."""
+        if self.telemetry is not None:
+            try:
+                statements = parse_statements(sql)
+            except SqlError as exc:
+                self.telemetry.record_error(exc, sql=sql)
+                raise
+            return [self._run_traced_statement(s) for s in statements]
         return [self._execute_statement(s) for s in parse_statements(sql)]
+
+    def _execute_traced(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Telemetry-on :meth:`execute`: meter, log, and trace the statement."""
+        from repro.profile import Profiler
+
+        profiler = Profiler()
+        try:
+            with profiler.phase("parse"):
+                statement = parse_statement(sql)
+        except SqlError as exc:
+            self.telemetry.record_error(exc, sql=sql)
+            raise
+        return self._run_traced_statement(
+            statement, params, sql=sql, profiler=profiler
+        )
+
+    def _run_traced_statement(
+        self,
+        statement: ast.Statement,
+        params: Sequence[Any] = (),
+        *,
+        sql: Optional[str] = None,
+        profiler=None,
+    ) -> Result:
+        """Execute one parsed statement with telemetry recording.
+
+        Queries run under a profiler (telemetry needs the span tree and
+        counters even when ``profile=False``); other statements are wall
+        timed.  Every SqlError is counted in ``errors_total`` before it
+        propagates.
+        """
+        import time as _time
+
+        from repro.telemetry import statement_kind
+
+        telemetry = self.telemetry
+        kind = statement_kind(statement)
+        if sql is None:
+            from repro.sql.printer import to_sql
+
+            try:
+                sql = to_sql(statement)
+            except Exception:
+                sql = None
+        start = _time.perf_counter()
+        try:
+            if isinstance(statement, ast.QueryStatement) and not isinstance(
+                statement.query, ast.ShowStats
+            ):
+                if profiler is None:
+                    from repro.profile import Profiler
+
+                    profiler = Profiler()
+                self._last_rewrite_reports = []
+                result = self._run_query(
+                    statement.query, params, profiler=profiler
+                )
+                telemetry.record_query(
+                    kind,
+                    self._last_profile,
+                    rows=len(result.rows),
+                    sql=sql,
+                    reports=self._last_rewrite_reports,
+                )
+                return result
+            result = self._execute_statement(statement, params)
+        except SqlError as exc:
+            telemetry.record_error(exc, sql=sql)
+            raise
+        telemetry.record_statement(
+            kind,
+            (_time.perf_counter() - start) * 1000.0,
+            rowcount=result.rowcount,
+            sql=sql,
+        )
+        return result
 
     def query(self, sql: str) -> Result:
         """Alias of :meth:`execute` for read-only use."""
@@ -182,6 +297,10 @@ class Database:
         params: Sequence[Any] = (),
         profiler=None,
     ) -> Result:
+        if isinstance(query, ast.ShowStats):
+            # Answered from the telemetry registry, not the planner; the
+            # binder rejects nested uses (lint rule RP112).
+            return self._show_stats()
         # Internal queries (summary refresh/delta) never auto-profile; they
         # would clobber the user-visible last_profile().
         if (
@@ -203,6 +322,12 @@ class Database:
                 if outcome.used is not None:
                     span.meta["summary"] = outcome.used.name
                 tracer.end(span)
+            if self.telemetry is not None:
+                # Mirrors what rewrite_query(record=True) just added to the
+                # per-view SummaryStats, keeping the lifetime hit/miss
+                # counters consistent with summary_stats().
+                self.telemetry.record_rewrite(outcome)
+                self._last_rewrite_reports = outcome.reports
             query = outcome.query
         # Hit/miss latency is only measured when a summary was at least a
         # candidate, so queries that never touch a summary pay nothing.
@@ -484,6 +609,11 @@ class Database:
                 f"EXPLAIN cannot explain a {target} statement; "
                 "only queries have plans (lint rule RP111)"
             )
+        if isinstance(statement.query, ast.ShowStats):
+            raise SqlError(
+                "EXPLAIN cannot explain SHOW STATS; it is answered from "
+                "the telemetry registry and has no plan"
+            )
         query = statement.query
         lint_lines: list[str] = []
         if statement.lint:
@@ -545,9 +675,72 @@ class Database:
         profiled query, or None.
 
         Populated whenever the database was constructed with
-        ``profile=True`` or an ``EXPLAIN ANALYZE`` statement ran.
+        ``profile=True`` or ``telemetry=True`` (queries run under a
+        profiler either way) or an ``EXPLAIN ANALYZE`` statement ran.
         """
         return self._last_profile
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _show_stats(self) -> Result:
+        """``SHOW STATS``: one row per telemetry metric sample.
+
+        Histograms contribute ``_bucket``/``_sum``/``_count`` rows.  With
+        telemetry off the result is empty (same columns, zero rows).
+        """
+        from repro.types import DOUBLE, VARCHAR
+
+        columns = [
+            ResultColumn("metric", VARCHAR),
+            ResultColumn("labels", VARCHAR),
+            ResultColumn("value", DOUBLE),
+        ]
+        rows = [] if self.telemetry is None else self.telemetry.registry.rows()
+        return Result(columns=columns, rows=rows, rowcount=len(rows))
+
+    def metrics(self) -> dict:
+        """A plain-dict snapshot of every telemetry metric.
+
+        Maps metric name to ``{"kind", "help", "labels", "series"}``;
+        empty when telemetry is off.  See docs/OBSERVABILITY.md for the
+        full catalog.
+        """
+        return {} if self.telemetry is None else self.telemetry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The metrics in the Prometheus text exposition format (the body
+        a ``/metrics`` scrape endpoint would serve).  Empty when off."""
+        return "" if self.telemetry is None else self.telemetry.metrics_text()
+
+    def events(self, n: Optional[int] = None) -> list:
+        """The most recent ``n`` structured telemetry events (all by
+        default), oldest first, as plain dicts."""
+        return [] if self.telemetry is None else self.telemetry.events.tail(n)
+
+    def slow_queries(self) -> list:
+        """Slow-query log entries (``Database(slow_query_ms=...)``),
+        oldest first; each carries sql, duration_ms, and the profile."""
+        return [] if self.telemetry is None else self.telemetry.slow_queries()
+
+    def export_traces(self, *, indent: Optional[int] = None) -> str:
+        """Serialize captured query traces to OTel-flavored JSON
+        (schema ``repro-trace-v1``); an empty envelope when telemetry is
+        off.  Always valid JSON (round-trips through ``json.loads``)."""
+        import json as _json
+
+        if self.telemetry is None:
+            from repro.telemetry import TRACE_SCHEMA
+
+            return _json.dumps(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "trace_count": 0,
+                    "traces_dropped": 0,
+                    "traces": [],
+                },
+                indent=indent,
+            )
+        return self.telemetry.traces.export_json(indent=indent)
 
     # -- static analysis ------------------------------------------------------
 
@@ -562,7 +755,10 @@ class Database:
         """
         from repro.analysis.linter import lint_sql
 
-        return lint_sql(self.catalog, sql)
+        diagnostics = lint_sql(self.catalog, sql)
+        if self.telemetry is not None:
+            self.telemetry.record_lint(diagnostics)
+        return diagnostics
 
     # -- measure expansion ----------------------------------------------------
 
@@ -588,6 +784,9 @@ class Database:
         """Like :meth:`expand`, for an already-parsed query AST."""
         from repro.core.expansion import expand_to_sql
 
+        if self.telemetry is not None:
+            # The *requested* strategy; "auto" resolves inside expand_to_sql.
+            self.telemetry.record_expansion(strategy)
         if not self.profile_enabled:
             return expand_to_sql(self, query, strategy=strategy)
         from repro.profile import Profiler

@@ -14,6 +14,10 @@ Backslash meta-commands:
                            (STRAT: subquery, inline, window, or auto)
 ``\\lint SQL``              report static-analysis diagnostics for SQL
 ``\\matviews``              list materialized views with staleness and stats
+``\\telemetry``             toggle database-lifetime telemetry collection
+``\\stats``                 print the telemetry metrics (Prometheus text)
+``\\events [N]``            print the last N telemetry events as JSON lines
+``\\slowlog``               print the slow-query log
 ``\\i FILE``                execute a SQL script file
 ``\\load TABLE FILE.csv``   create TABLE from a CSV file
 ``\\demo``                  load the paper's Customers/Orders tables
@@ -45,6 +49,10 @@ _HELP = """Meta commands:
                      strategy S (subquery, inline, window, auto)
   \\lint SQL;         report lint diagnostics (RPxxx) without executing
   \\matviews          list materialized views (staleness, hit/miss stats)
+  \\telemetry         toggle telemetry (lifetime metrics, events, traces)
+  \\stats             print telemetry metrics (SHOW STATS shows them in SQL)
+  \\events [N]        print the last N telemetry events (default 10)
+  \\slowlog           print slow queries (Database(slow_query_ms=...))
   \\i FILE            run a SQL script
   \\load TABLE FILE   load a CSV file into a new table
   \\demo              load the paper's example tables
@@ -126,6 +134,21 @@ class Shell:
             self.lint(argument)
         elif command == "\\matviews":
             self.list_matviews()
+        elif command == "\\telemetry":
+            if self.db.telemetry is None:
+                from repro.telemetry import Telemetry
+
+                self.db.telemetry = Telemetry()
+                self.write("telemetry on")
+            else:
+                self.db.telemetry = None
+                self.write("telemetry off")
+        elif command == "\\stats":
+            self.show_stats()
+        elif command == "\\events":
+            self.show_events(argument)
+        elif command == "\\slowlog":
+            self.show_slowlog()
         elif command == "\\i":
             self.run_script_file(argument)
         elif command == "\\load":
@@ -188,6 +211,50 @@ class Shell:
             )
             if stats.last_reject_reason:
                 self.write(f"    last reject: {stats.last_reject_reason}")
+
+    def show_stats(self) -> None:
+        """Print the telemetry metrics in Prometheus text format."""
+        if self.db.telemetry is None:
+            self.write("telemetry is off (\\telemetry to enable)")
+            return
+        text = self.db.metrics_text()
+        self.write(text.rstrip("\n") if text else "(no metrics)")
+
+    def show_events(self, argument: str) -> None:
+        """Print the last N telemetry events as JSON lines."""
+        if self.db.telemetry is None:
+            self.write("telemetry is off (\\telemetry to enable)")
+            return
+        count = 10
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self.write("usage: \\events [N]")
+                return
+        events = self.db.telemetry.events.to_jsonl(count)
+        self.write(events if events else "(no events)")
+
+    def show_slowlog(self) -> None:
+        """Print the slow-query log, one line per offending query."""
+        if self.db.telemetry is None:
+            self.write("telemetry is off (\\telemetry to enable)")
+            return
+        if self.db.telemetry.slow_log is None:
+            self.write(
+                "slow-query log not configured "
+                "(Database(slow_query_ms=...))"
+            )
+            return
+        entries = self.db.slow_queries()
+        if not entries:
+            self.write("(no slow queries)")
+            return
+        for entry in entries:
+            self.write(
+                f"  {entry['duration_ms']:10.3f} ms  "
+                f"{entry['sql'] or '(unknown sql)'}"
+            )
 
     def describe(self, name: str) -> None:
         """Print one object's columns, row count, and measures."""

@@ -55,6 +55,19 @@ def winmagic_rewrite(db: "Database", query: ast.Query, *, tracer=None) -> ast.Qu
     With a tracer attached, the attempt runs under an ``expand:winmagic``
     span annotated with how many window columns the rewrite introduced.
     """
+    telemetry = getattr(db, "telemetry", None)
+    try:
+        result = _winmagic_rewrite_traced(db, query, tracer)
+    except UnsupportedError:
+        if telemetry is not None:
+            telemetry.record_winmagic("unsupported")
+        raise
+    if telemetry is not None:
+        telemetry.record_winmagic("rewritten")
+    return result
+
+
+def _winmagic_rewrite_traced(db: "Database", query: ast.Query, tracer) -> ast.Query:
     if tracer is not None:
         span = tracer.begin("expand:winmagic", "expand")
         try:

@@ -43,6 +43,11 @@ def compute_rows(db: "Database", view_query: ast.Select):
     """
     previous = db._suppress_summaries
     db._suppress_summaries = True
+    if db.telemetry is not None:
+        # Maintenance work is invisible to the user-facing query metrics
+        # (it never goes through execute()); count it separately so the
+        # engine's internal load is still observable.
+        db.telemetry.record_internal_query()
     try:
         return db._run_query(copy.deepcopy(view_query))
     finally:
@@ -82,6 +87,8 @@ def refresh(db: "Database", view: MaterializedView) -> int:
     count = view.table.insert_many(result.rows)
     view.stale = False
     view.stats.refreshes += 1
+    if db.telemetry is not None:
+        db.telemetry.record_maintenance("refresh", view.name)
     return count
 
 
@@ -91,6 +98,8 @@ def on_mutation(db: "Database", table_name: str) -> None:
         if not view.stale:
             view.stale = True
             view.stats.invalidations += 1
+            if db.telemetry is not None:
+                db.telemetry.record_maintenance("invalidation", view.name)
 
 
 def on_insert(
@@ -105,9 +114,13 @@ def on_insert(
         if _merge_eligible(view, table_name):
             _merge_delta(db, view, table_name, new_rows)
             view.stats.incremental_merges += 1
+            if db.telemetry is not None:
+                db.telemetry.record_maintenance("incremental_merge", view.name)
         else:
             view.stale = True
             view.stats.invalidations += 1
+            if db.telemetry is not None:
+                db.telemetry.record_maintenance("invalidation", view.name)
 
 
 def _merge_eligible(view: MaterializedView, table_name: str) -> bool:

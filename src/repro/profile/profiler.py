@@ -166,8 +166,9 @@ class Profiler:
         if ctx is not None:
             for name in _CTX_COUNTERS:
                 counters[name] = getattr(ctx, name)
-        if self.tracer.dropped:
-            counters["spans_dropped"] = self.tracer.dropped
+        spans_dropped = self.tracer.dropped
+        if spans_dropped:
+            counters["spans_dropped"] = spans_dropped
         measures = {
             name: {
                 "evaluations": entry["evaluations"],
@@ -183,6 +184,7 @@ class Profiler:
             counters=counters,
             measures=measures,
             result_rows=result_rows,
+            spans_dropped=spans_dropped,
         )
 
     def _freeze_tree(self, plan) -> dict:
@@ -206,6 +208,7 @@ class QueryProfile:
         "counters",
         "measures",
         "result_rows",
+        "spans_dropped",
     )
 
     #: Bumped whenever the serialized layout changes incompatibly.
@@ -220,6 +223,7 @@ class QueryProfile:
         counters: dict[str, int],
         measures: dict[str, dict],
         result_rows: Optional[int],
+        spans_dropped: int = 0,
     ):
         self.sql = sql
         self.root_span = root_span
@@ -227,6 +231,7 @@ class QueryProfile:
         self.counters = counters
         self.measures = measures
         self.result_rows = result_rows
+        self.spans_dropped = spans_dropped
 
     @property
     def total_ms(self) -> float:
@@ -247,6 +252,7 @@ class QueryProfile:
             "sql": self.sql,
             "total_ms": round(self.total_ms, 3),
             "result_rows": self.result_rows,
+            "spans_dropped": self.spans_dropped,
             "phases": self.root_span.to_dict(),
             "plan": self.operator_tree,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
@@ -301,6 +307,11 @@ class QueryProfile:
                 f"measure {name}: evaluations={entry['evaluations']} "
                 f"cache_hits={entry['cache_hits']}"
                 + (f" time={entry['time_ms']:.3f}ms" if timing else "")
+            )
+        if self.spans_dropped:
+            lines.append(
+                f"warning: trace truncated, {self.spans_dropped} spans "
+                "dropped (span budget exhausted)"
             )
         return lines
 

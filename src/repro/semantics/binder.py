@@ -148,6 +148,15 @@ class Binder:
             return self._bind_setop(query, outer_scope)
         if isinstance(query, ast.Values):
             return self._bind_values(query, outer_scope)
+        if isinstance(query, ast.ShowStats):
+            error = BindError(
+                "SHOW STATS is a top-level statement; it cannot appear "
+                "inside a view, subquery, or set operation (lint rule RP112)"
+            )
+            span = ast.node_span(query)
+            if span is not None:
+                error.attach_location(span.line, span.column)
+            raise error
         raise UnsupportedError(f"cannot bind {type(query).__name__}")
 
     def bind_query_top(

@@ -537,6 +537,16 @@ class WithQuery(Query):
     body: Query
 
 
+@dataclass
+class ShowStats(Query):
+    """``SHOW STATS``: the telemetry metrics registry as a result set.
+
+    Parsed as a query so it composes syntactically (and so lint rule RP112
+    can flag nested uses), but only the top level executes it — the binder
+    rejects it inside views and subqueries.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------

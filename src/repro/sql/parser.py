@@ -220,6 +220,7 @@ class _Parser:
             if not (
                 self.at_keyword("SELECT", "WITH", "VALUES")
                 or self.at_operator("(")
+                or self._at_show_stats()
             ):
                 # EXPLAIN over DDL/DML: parses (so the linter can flag it,
                 # rule RP111) but refuses to execute.
@@ -228,9 +229,28 @@ class _Parser:
                     None, lint=lint, analyze=analyze, target=target
                 )
             return ast.ExplainPlan(self._query(), lint=lint, analyze=analyze)
+        if self._at_show_stats():
+            return ast.QueryStatement(self._show_stats())
         if self.at_keyword("SELECT", "WITH", "VALUES") or self.at_operator("("):
             return ast.QueryStatement(self._query())
         raise self.error("expected a statement")
+
+    def _at_show_stats(self) -> bool:
+        """True at ``SHOW STATS`` (two soft keywords, like EXPLAIN: plain
+        identifiers named show/stats stay usable everywhere else)."""
+        return (
+            self.current.type is TokenType.IDENT
+            and str(self.current.value).upper() == "SHOW"
+            and self.peek(1).type is TokenType.IDENT
+            and str(self.peek(1).value).upper() == "STATS"
+        )
+
+    def _show_stats(self) -> ast.ShowStats:
+        token = self.advance()  # SHOW
+        self.advance()  # STATS
+        node = ast.ShowStats()
+        self._mark(node, token)
+        return node
 
     def _create(self) -> ast.Statement:
         self.expect_keyword("CREATE")
@@ -438,6 +458,10 @@ class _Parser:
             return self._select()
         if self.at_keyword("VALUES"):
             return self._values()
+        if self._at_show_stats():
+            # Parses anywhere a query can appear so lint rule RP112 can
+            # point at nested uses; the binder rejects them.
+            return self._show_stats()
         if self.at_operator("("):
             self.expect_operator("(")
             query = self._query()

@@ -343,6 +343,9 @@ class _Printer:
         )
         return f"VALUES {rows}"
 
+    def _render_ShowStats(self, node: ast.ShowStats) -> str:
+        return "SHOW STATS"
+
     def _render_WithQuery(self, node: ast.WithQuery) -> str:
         ctes = ", ".join(
             _ident(cte.name)

@@ -1,0 +1,104 @@
+"""Structured event log and slow-query log.
+
+Events are plain dicts with a monotonically increasing ``seq`` and an
+ISO-8601 UTC ``ts``.  The log is a bounded ring buffer so a long-lived
+Database cannot grow without limit; an optional *sink* (any object with a
+``write`` method) receives each event as one JSON line the moment it is
+recorded, which is how the log is tailed to a file.
+
+The slow-query log is a separate, smaller ring holding the full
+:meth:`QueryProfile.to_dict` of every query whose wall time met the
+configured threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventLog", "SlowQueryLog"]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="microseconds")
+
+
+class EventLog:
+    """Bounded ring buffer of query-lifecycle events."""
+
+    def __init__(self, capacity: int = 1000, sink: Any = None):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self.sink = sink
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        #: Events that fell off the ring (observable data loss).
+        self.dropped = 0
+
+    def record(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stored dict (with seq/ts added)."""
+        self._seq += 1
+        entry: Dict[str, Any] = {"seq": self._seq, "ts": _utc_now(), "event": event}
+        entry.update(fields)
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(entry)
+        if self.sink is not None:
+            self.sink.write(json.dumps(entry, default=str) + "\n")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` events, oldest first (all when ``n`` None)."""
+        events = list(self._events)
+        if n is not None and n >= 0:
+            events = events[-n:] if n else []
+        return events
+
+    def to_jsonl(self, n: Optional[int] = None) -> str:
+        """The tail rendered as JSON lines (one event per line)."""
+        return "\n".join(
+            json.dumps(event, default=str) for event in self.tail(n)
+        )
+
+
+class SlowQueryLog:
+    """Ring buffer of queries that exceeded the slow-query threshold."""
+
+    def __init__(self, threshold_ms: float, capacity: int = 100):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    def add(
+        self,
+        sql: Optional[str],
+        duration_ms: float,
+        profile: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        self._seq += 1
+        entry = {
+            "seq": self._seq,
+            "ts": _utc_now(),
+            "sql": sql,
+            "duration_ms": duration_ms,
+            "threshold_ms": self.threshold_ms,
+            "profile": profile,
+        }
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All retained entries, oldest first."""
+        return list(self._entries)

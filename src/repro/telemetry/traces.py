@@ -1,0 +1,113 @@
+"""Trace export: serialize profiler span trees to OTel-flavored JSON.
+
+The profiler's :class:`~repro.profile.tracer.Span` tree is flattened into
+a list of spans with ``trace_id`` / ``span_id`` / ``parent_span_id``
+links, the shape OpenTelemetry tooling expects.  IDs are deterministic
+counters rendered as fixed-width hex (16 hex chars for spans, 32 for
+traces) — there is no global collector to collide with, and determinism
+keeps the export testable.
+
+Span timestamps come from ``time.perf_counter_ns`` (a monotonic clock
+with an arbitrary epoch), so the export carries offsets relative to each
+trace's root span (``start_ns`` / ``end_ns`` from root start) rather than
+pretending to know wall-clock times; the wall-clock anchor is the
+``captured_at`` timestamp on the trace envelope.
+
+The envelope is versioned (``schema: repro-trace-v1``) like the bench
+snapshot and QueryProfile schemas.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceBuffer", "TRACE_SCHEMA"]
+
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+class TraceBuffer:
+    """Bounded ring of captured traces (one per profiled query)."""
+
+    def __init__(self, capacity: int = 100):
+        if capacity < 1:
+            raise ValueError("trace buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: deque = deque(maxlen=capacity)
+        self._next_trace = 0
+        self._next_span = 0
+        #: Traces that fell off the ring.
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def _trace_id(self) -> str:
+        self._next_trace += 1
+        return f"{self._next_trace:032x}"
+
+    def _span_id(self) -> str:
+        self._next_span += 1
+        return f"{self._next_span:016x}"
+
+    def capture(
+        self,
+        root_span: Any,
+        *,
+        sql: Optional[str] = None,
+        spans_dropped: int = 0,
+    ) -> str:
+        """Flatten one span tree into the buffer; returns the trace_id."""
+        trace_id = self._trace_id()
+        base_ns = root_span.start_ns
+        flat: List[Dict[str, Any]] = []
+
+        def visit(span: Any, parent_id: Optional[str]) -> None:
+            span_id = self._span_id()
+            # An unclosed span keeps end_ns == 0; export zero duration.
+            end_ns = span.end_ns if span.end_ns else span.start_ns
+            entry: Dict[str, Any] = {
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "parent_span_id": parent_id,
+                "name": span.name,
+                "kind": span.kind,
+                "start_ns": span.start_ns - base_ns,
+                "end_ns": end_ns - base_ns,
+                "duration_ms": span.duration_ms,
+            }
+            if span.meta:
+                entry["attributes"] = dict(span.meta)
+            flat.append(entry)
+            for child in span.children:
+                visit(child, span_id)
+
+        visit(root_span, None)
+        trace: Dict[str, Any] = {
+            "trace_id": trace_id,
+            "captured_at": datetime.now(timezone.utc).isoformat(
+                timespec="microseconds"
+            ),
+            "sql": sql,
+            "spans_dropped": spans_dropped,
+            "spans": flat,
+        }
+        if len(self._traces) == self.capacity:
+            self.dropped += 1
+        self._traces.append(trace)
+        return trace_id
+
+    def export(self) -> Dict[str, Any]:
+        """The versioned envelope holding every retained trace."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "trace_count": len(self._traces),
+            "traces_dropped": self.dropped,
+            "traces": list(self._traces),
+        }
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.export(), indent=indent, default=str)

@@ -83,6 +83,7 @@ NEGATIVE_FIXTURES = [
         "SELECT orderDate, SUM(revenue) AS r FROM Orders GROUP BY orderDate",
         "RP110",
     ),
+    ("paper_db", "CREATE VIEW v AS SHOW STATS", "RP112"),
 ]
 
 

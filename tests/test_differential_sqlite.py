@@ -209,3 +209,33 @@ def test_differential_profile_correlated(rows):
     # Against the external oracle too, under profiling.
     assert canonical(profiled) == canonical(run_sqlite(rows, sql))
     assert profile.counters["subquery_executions"] >= 0
+
+
+# -- telemetry differential: observation must not perturb results ------------
+
+
+def run_repro_telemetered(rows, sql: str):
+    db = Database(telemetry=True)
+    db.create_table_from_rows(
+        "t",
+        [("k", "INTEGER"), ("g", "VARCHAR"), ("v", "INTEGER"), ("w", "INTEGER")],
+        rows,
+    )
+    result = db.execute(sql)
+    return result.rows, db
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows_strategy, simple_query())
+def test_differential_telemetry_on_off(rows, sql):
+    """telemetry=True is pure observation: identical rows (exact order),
+    and the recorded metrics agree with what actually ran."""
+    plain = run_repro(rows, sql)
+    observed, db = run_repro_telemetered(rows, sql)
+    assert observed == plain
+    tele = db.telemetry
+    assert tele.queries_total.value(kind="select", strategy="interpreter") == 1
+    assert tele.query_duration_ms.count(kind="select") == 1
+    assert tele.rows_returned_total.value() == len(plain)
+    # Against the external oracle too, under telemetry.
+    assert canonical(observed) == canonical(run_sqlite(rows, sql))

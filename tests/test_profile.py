@@ -214,8 +214,9 @@ def test_profile_serialization_stability(paper_db):
     entry = profile.to_dict()
     assert list(entry) == [
         "schema_version", "sql", "total_ms", "result_rows",
-        "phases", "plan", "counters", "measures",
+        "spans_dropped", "phases", "plan", "counters", "measures",
     ]
+    assert entry["spans_dropped"] == 0
     assert entry["schema_version"] == 1
     assert list(entry["counters"]) == sorted(entry["counters"])
     # to_json round-trips to the same dict.

@@ -1,0 +1,164 @@
+"""Property tests for the telemetry subsystem's accounting invariants.
+
+Three families:
+
+* histogram internals — per-bucket counts always sum to the observation
+  count, and the sum field tracks the total of observed values;
+* whole-database accounting — across a randomized workload,
+  ``queries_total`` equals the number of successful ``execute()`` calls
+  and ``errors_total`` the number of failing ones;
+* observation purity — a telemetry-enabled Database returns exactly the
+  rows a plain one does (extends the ``test_differential_sqlite``
+  pattern for an internal differential).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, SqlError
+from repro.telemetry import MetricsRegistry
+
+# -- histogram invariants -----------------------------------------------------
+
+values_strategy = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+buckets_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1e5, allow_nan=False),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values_strategy, buckets_strategy)
+def test_histogram_buckets_sum_to_count(values, buckets):
+    reg = MetricsRegistry()
+    hist = reg.histogram("h_ms", "H.", buckets=buckets)
+    for value in values:
+        hist.observe(value)
+    counts = hist.bucket_counts()
+    assert len(counts) == len(hist.boundaries) + 1
+    assert sum(counts) == hist.count() == len(values)
+    assert math.isclose(hist.sum_(), sum(values), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values_strategy, buckets_strategy)
+def test_histogram_prometheus_cumulative_is_monotone(values, buckets):
+    """The rendered cumulative buckets never decrease, and the +Inf bucket
+    equals the count — for every labelset, derived from the same storage
+    the non-cumulative invariant holds over."""
+    reg = MetricsRegistry()
+    hist = reg.histogram("h_ms", "H.", buckets=buckets)
+    for value in values:
+        hist.observe(value)
+    cumulative = 0
+    for bucket in hist.bucket_counts():
+        assert bucket >= 0
+        cumulative += bucket
+    assert cumulative == hist.count()
+    # The le= placement respects the boundaries: everything observed at or
+    # under boundary[i] is inside cumulative bucket i.
+    for i, boundary in enumerate(hist.boundaries):
+        expected = sum(1 for v in values if v <= boundary)
+        assert sum(hist.bucket_counts()[: i + 1]) == expected
+
+
+# -- whole-database accounting ------------------------------------------------
+
+statement_strategy = st.sampled_from(
+    [
+        "SELECT k, v FROM t",
+        "SELECT g, COUNT(*) FROM t GROUP BY g",
+        "SELECT SUM(v) FROM t WHERE k > 1",
+        "SELECT DISTINCT g FROM t",
+        "INSERT INTO t VALUES (9, 'x', 1, 2)",
+        "UPDATE t SET v = v + 1 WHERE k = 0",
+        "DELETE FROM t WHERE k = 4",
+        "SELECT nope FROM t",          # bind error
+        "SELECT FROM WHERE",           # parse error
+    ]
+)
+
+workload_strategy = st.lists(statement_strategy, min_size=0, max_size=20)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4),
+        st.sampled_from(["x", "y", "z"]),
+        st.one_of(st.none(), st.integers(-20, 20)),
+        st.integers(0, 9),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+def make_db(rows, **kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table_from_rows(
+        "t",
+        [("k", "INTEGER"), ("g", "VARCHAR"), ("v", "INTEGER"), ("w", "INTEGER")],
+        rows,
+    )
+    return db
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy, workload_strategy)
+def test_queries_total_counts_execute_calls(rows, workload):
+    db = make_db(rows, telemetry=True)
+    ok = failed = 0
+    for sql in workload:
+        try:
+            db.execute(sql)
+            ok += 1
+        except SqlError:
+            failed += 1
+    tele = db.telemetry
+    assert tele.queries_total.total() == ok
+    assert tele.errors_total.total() == failed
+    # Every completed statement observed exactly one duration.
+    total_observed = sum(
+        tele.query_duration_ms.count(**labels)
+        for labels in tele.query_duration_ms.labelsets()
+    )
+    assert total_observed == ok
+    # Every bucketed histogram series individually sums to its count.
+    for labels in tele.query_duration_ms.labelsets():
+        counts = tele.query_duration_ms.bucket_counts(**labels)
+        assert sum(counts) == tele.query_duration_ms.count(**labels)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy, workload_strategy)
+def test_telemetry_on_off_identical_results(rows, workload):
+    plain = make_db(rows)
+    observed = make_db(rows, telemetry=True)
+    for sql in workload:
+        plain_rows = plain_error = None
+        try:
+            plain_rows = plain.execute(sql).rows
+        except SqlError as exc:
+            plain_error = type(exc).__name__
+        observed_rows = observed_error = None
+        try:
+            observed_rows = observed.execute(sql).rows
+        except SqlError as exc:
+            observed_error = type(exc).__name__
+        assert observed_rows == plain_rows
+        assert observed_error == plain_error
