@@ -30,6 +30,7 @@ examples:
 
 lint:
 	python -m repro.analysis --self-check
+	python -m repro.analysis --flip-check
 
 validate:
 	REPRO_VALIDATE=1 pytest tests/

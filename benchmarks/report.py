@@ -215,14 +215,24 @@ COMPARE_ABS_FLOOR_MS = 2.0
 
 
 def _load_snapshot(path: str) -> dict:
+    """Load and validate one snapshot; any problem is a one-line SystemExit
+    (the CI gate should report "file missing" or "schema drift", never a
+    traceback)."""
     import json
 
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("schema") != SNAPSHOT_SCHEMA:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"{path}: snapshot file not found") from None
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read snapshot: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: snapshot is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != SNAPSHOT_SCHEMA:
+        got = payload.get("schema") if isinstance(payload, dict) else type(payload).__name__
         raise SystemExit(
-            f"{path}: expected schema {SNAPSHOT_SCHEMA!r}, "
-            f"got {payload.get('schema')!r}"
+            f"{path}: expected schema {SNAPSHOT_SCHEMA!r}, got {got!r}"
         )
     return payload
 

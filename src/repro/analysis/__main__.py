@@ -126,6 +126,40 @@ def _check_examples(examples_dir: pathlib.Path) -> int:
     return failures
 
 
+def _check_example_flips(examples_dir: pathlib.Path) -> int:
+    """Replay every example's SQL with telemetry on; count plan flips.
+
+    The examples are deterministic, so any ``plan_flip`` event is a
+    regression — either nondeterminism crept into planning, or an example
+    started re-running a statement across a plan-changing DDL.
+    """
+    failures = 0
+    checked = 0
+    for path in sorted(examples_dir.glob("*.py")):
+        db = Database(telemetry=True)
+        for sql in _sql_constants(path):
+            try:
+                db.execute_script(sql)
+            except SqlError:
+                # Same tolerance as _check_examples: the constant depends
+                # on runtime state the replay cannot reproduce.
+                continue
+        checked += 1
+        flips = [e for e in db.events() if e["event"] == "plan_flip"]
+        if flips:
+            failures += 1
+            print(f"FAIL example:{path.name}: {len(flips)} plan flip(s)")
+            for flip in flips:
+                print(
+                    f"  {flip['fingerprint']}: {flip['old_strategy']}/"
+                    f"{flip['old_plan_hash']} -> {flip['new_strategy']}/"
+                    f"{flip['new_plan_hash']}"
+                )
+                print(f"    sql: {flip['query'][:90]}")
+    print(f"flip-check: {checked} examples replayed, {failures} with plan flips")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -137,21 +171,34 @@ def main(argv: list[str] | None = None) -> int:
         help="lint the paper listings and the bundled examples",
     )
     parser.add_argument(
+        "--flip-check",
+        action="store_true",
+        help="replay the examples with telemetry on and fail on any "
+        "plan_flip event",
+    )
+    parser.add_argument(
         "--examples-dir",
         default=None,
         help="override the examples directory (default: ./examples)",
     )
     args = parser.parse_args(argv)
-    if not args.self_check:
+    if not args.self_check and not args.flip_check:
         parser.print_help()
         return 2
 
-    failures = _check_listings()
+    failures = 0
     examples_dir = pathlib.Path(args.examples_dir or "examples")
-    if examples_dir.is_dir():
-        failures += _check_examples(examples_dir)
-    else:
-        print(f"examples: directory {examples_dir} not found, skipped")
+    if args.self_check:
+        failures += _check_listings()
+        if examples_dir.is_dir():
+            failures += _check_examples(examples_dir)
+        else:
+            print(f"examples: directory {examples_dir} not found, skipped")
+    if args.flip_check:
+        if examples_dir.is_dir():
+            failures += _check_example_flips(examples_dir)
+        else:
+            print(f"flip-check: directory {examples_dir} not found, skipped")
     if failures:
         print(f"self-check: FAILED ({failures} findings)")
         return 1

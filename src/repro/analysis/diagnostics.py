@@ -70,6 +70,10 @@ RULES: dict[str, tuple[Severity, str]] = {
         Severity.ERROR,
         "SHOW STATS nested inside a view, subquery, or EXPLAIN",
     ),
+    "RP113": (
+        Severity.ERROR,
+        "materialized view defined over a repro_* system table",
+    ),
 }
 
 

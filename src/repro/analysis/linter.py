@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.catalog.objects import BaseTable, MaterializedView, View
+from repro.catalog.objects import BaseTable, MaterializedView, SystemTable, View
 from repro.engine.aggregates import is_aggregate_function
 from repro.errors import LexerError, ParseError, SqlError
 from repro.matview import rewrite_query
@@ -95,7 +95,25 @@ def lint_statement(catalog, statement: ast.Statement) -> list[Diagnostic]:
         return lint_query(catalog, statement.query)
     if isinstance(statement, ast.ExplainExpand):
         return lint_query(catalog, statement.query)
-    if isinstance(statement, (ast.CreateView, ast.CreateMaterializedView)):
+    if isinstance(statement, ast.CreateMaterializedView):
+        diags = lint_query(catalog, statement.query, view_def=True)
+        # RP113: a summary over a system table could never be matched or
+        # invalidated (its source changes on every query), so creation is
+        # rejected at runtime too (matview.definition).
+        for node in statement.query.walk():
+            if isinstance(node, ast.TableName) and catalog.is_system(node.name):
+                diags.append(
+                    _diag(
+                        "RP113",
+                        f"materialized view reads system table "
+                        f"{node.name!r}; system tables are volatile and "
+                        f"can never be subsumption-matched",
+                        ast.node_span(node),
+                        hint="use a plain CREATE VIEW over system tables",
+                    )
+                )
+        return sorted_diagnostics(diags)
+    if isinstance(statement, ast.CreateView):
         return lint_query(catalog, statement.query, view_def=True)
     if isinstance(statement, ast.CreateTableAs):
         return lint_query(catalog, statement.query)
@@ -234,6 +252,8 @@ class _Linter:
                 if not c.name.startswith("__")
             ]
         if isinstance(obj, BaseTable):
+            return [(c.name, False) for c in obj.schema.columns]
+        if isinstance(obj, SystemTable):
             return [(c.name, False) for c in obj.schema.columns]
         if isinstance(obj, View):
             return self._columns_of_query(obj.query)

@@ -126,6 +126,14 @@ class Database:
         #: CandidateReports of the most recent top-level query's summary
         #: rewrite (telemetry uses them to label the execution strategy).
         self._last_rewrite_reports: list = []
+        #: Bound plan of the most recent profiled query (telemetry hashes
+        #: it for plan-flip detection; None when telemetry is off).
+        self._last_plan = None
+        from repro.introspect import install_system_tables
+
+        # The repro_* system tables always exist — with telemetry off they
+        # bind and scan normally and simply return no rows.
+        install_system_tables(self)
 
     # -- statement execution ----------------------------------------------
 
@@ -193,6 +201,11 @@ class Database:
         """
         import time as _time
 
+        from repro.introspect import (
+            fingerprint_statement,
+            is_introspection_plan,
+            plan_shape,
+        )
         from repro.telemetry import statement_kind
 
         telemetry = self.telemetry
@@ -204,6 +217,12 @@ class Database:
                 sql = to_sql(statement)
             except Exception:
                 sql = None
+        try:
+            fingerprint, normalized = fingerprint_statement(statement)
+        except Exception:
+            # A statement the printer cannot canonicalize still executes
+            # and is metered; it just has no stat_statements row.
+            fingerprint = normalized = None
         start = _time.perf_counter()
         try:
             if isinstance(statement, ast.QueryStatement) and not isinstance(
@@ -214,6 +233,7 @@ class Database:
 
                     profiler = Profiler()
                 self._last_rewrite_reports = []
+                self._last_plan = None
                 result = self._run_query(
                     statement.query, params, profiler=profiler
                 )
@@ -223,17 +243,29 @@ class Database:
                     rows=len(result.rows),
                     sql=sql,
                     reports=self._last_rewrite_reports,
+                    fingerprint=fingerprint,
+                    query_text=normalized,
+                    plan_shape=(
+                        None
+                        if self._last_plan is None
+                        else plan_shape(self._last_plan)
+                    ),
+                    introspection=is_introspection_plan(self._last_plan),
                 )
                 return result
             result = self._execute_statement(statement, params)
         except SqlError as exc:
-            telemetry.record_error(exc, sql=sql)
+            telemetry.record_error(
+                exc, sql=sql, fingerprint=fingerprint, query_text=normalized
+            )
             raise
         telemetry.record_statement(
             kind,
             (_time.perf_counter() - start) * 1000.0,
             rowcount=result.rowcount,
             sql=sql,
+            fingerprint=fingerprint,
+            query_text=normalized,
         )
         return result
 
@@ -377,6 +409,7 @@ class Database:
         if profiler is not None:
             from repro.sql.printer import to_sql
 
+            self._last_plan = plan
             self._last_profile = profiler.finish(
                 plan, ctx, len(rows), sql=to_sql(original_query)
             )
@@ -722,6 +755,33 @@ class Database:
         oldest first; each carries sql, duration_ms, and the profile."""
         return [] if self.telemetry is None else self.telemetry.slow_queries()
 
+    def stat_statements(self) -> list:
+        """Per-fingerprint statement statistics, first-seen order.
+
+        One dict per statement fingerprint — calls, total/mean/min/max
+        wall ms, rows returned, errors, last strategy, and last plan hash;
+        the same rows the ``repro_stat_statements`` system table exposes
+        to SQL.  Empty when telemetry is off.
+        """
+        if self.telemetry is None:
+            return []
+        return [e.as_dict() for e in self.telemetry.statements.entries()]
+
+    def plan_flips(self) -> list:
+        """Detected plan flips, oldest first (``repro_plan_flips`` as
+        dicts): statements whose plan hash changed between executions.
+        Empty when telemetry is off."""
+        if self.telemetry is None:
+            return []
+        return [f.as_dict() for f in self.telemetry.statements.flips()]
+
+    def reset_stats(self) -> None:
+        """Discard all per-fingerprint statement statistics and retained
+        plan flips (``pg_stat_statements_reset`` style).  Cumulative
+        metrics, events, and traces are unaffected."""
+        if self.telemetry is not None:
+            self.telemetry.statements.reset()
+
     def export_traces(self, *, indent: Optional[int] = None) -> str:
         """Serialize captured query traces to OTel-flavored JSON
         (schema ``repro-trace-v1``); an empty envelope when telemetry is
@@ -877,6 +937,19 @@ class Database:
                 "name": obj.name,
                 "kind": "table",
                 "rows": len(obj.table),
+                "columns": [
+                    {"name": c.name, "type": str(c.dtype), "measure": False}
+                    for c in obj.schema.columns
+                ],
+                "measures": [],
+            }
+        from repro.catalog.objects import SystemTable
+
+        if isinstance(obj, SystemTable):
+            return {
+                "name": obj.name,
+                "kind": "system table",
+                "comment": obj.comment,
                 "columns": [
                     {"name": c.name, "type": str(c.dtype), "measure": False}
                     for c in obj.schema.columns

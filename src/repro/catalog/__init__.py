@@ -1,7 +1,13 @@
 """Catalog: named tables and views, schemas, and DDL bookkeeping."""
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.objects import BaseTable, CatalogObject, MaterializedView, View
+from repro.catalog.objects import (
+    BaseTable,
+    CatalogObject,
+    MaterializedView,
+    SystemTable,
+    View,
+)
 from repro.catalog.schema import Column, TableSchema
 
 __all__ = [
@@ -10,6 +16,7 @@ __all__ = [
     "CatalogObject",
     "Column",
     "MaterializedView",
+    "SystemTable",
     "TableSchema",
     "View",
 ]

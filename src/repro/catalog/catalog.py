@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.catalog.objects import BaseTable, CatalogObject, MaterializedView, View
+from repro.catalog.objects import (
+    BaseTable,
+    CatalogObject,
+    MaterializedView,
+    SystemTable,
+    View,
+)
 from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
 from repro.sql import ast
@@ -18,6 +24,10 @@ class Catalog:
 
     def __init__(self) -> None:
         self._objects: dict[str, CatalogObject] = {}
+        #: Reserved namespace of virtual system tables (repro.introspect).
+        #: Kept apart from user objects so names()/__contains__ and the
+        #: shell's object listings show only what the user created.
+        self._system: dict[str, SystemTable] = {}
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._objects
@@ -31,7 +41,37 @@ class Catalog:
 
     def get(self, name: str) -> Optional[CatalogObject]:
         """The object named ``name`` (case-insensitive), or None."""
-        return self._objects.get(name.lower())
+        key = name.lower()
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = self._system.get(key)
+        return obj
+
+    # -- system tables -------------------------------------------------------
+
+    def register_system_table(self, table: SystemTable) -> SystemTable:
+        """Register a virtual system table in the reserved namespace."""
+        key = table.name.lower()
+        if key in self._objects:
+            raise CatalogError(
+                f"cannot register system table {table.name!r}: a user "
+                f"object with that name already exists"
+            )
+        self._system[key] = table
+        return table
+
+    def system_tables(self) -> list[SystemTable]:
+        """All registered system tables, in name order."""
+        return sorted(self._system.values(), key=lambda t: t.name.lower())
+
+    def is_system(self, name: str) -> bool:
+        return name.lower() in self._system
+
+    def _reject_system_name(self, name: str) -> None:
+        if name.lower() in self._system:
+            raise CatalogError(
+                f"{name!r} is a system table and cannot be redefined"
+            )
 
     def resolve(self, name: str) -> CatalogObject:
         """Like :meth:`get` but raises :class:`CatalogError` when missing."""
@@ -49,6 +89,7 @@ class Catalog:
         if_not_exists: bool = False,
     ) -> BaseTable:
         """Create (or with flags, replace/reuse) a base table."""
+        self._reject_system_name(name)
         key = name.lower()
         if key in self._objects:
             if if_not_exists:
@@ -73,6 +114,7 @@ class Catalog:
         or_replace: bool = False,
     ) -> View:
         """Create a view over ``query``; ``column_names`` optionally rename."""
+        self._reject_system_name(name)
         key = name.lower()
         if key in self._objects and not or_replace:
             raise CatalogError(f"object {name!r} already exists")
@@ -89,6 +131,7 @@ class Catalog:
         destroying a base table (and its data) or a plain view that happens
         to share the name is never what the user meant.
         """
+        self._reject_system_name(name)
         key = name.lower()
         existing = self._objects.get(key)
         if existing is not None:
@@ -123,6 +166,10 @@ class Catalog:
     def drop(self, kind: str, name: str, *, if_exists: bool = False) -> bool:
         """Drop a TABLE, VIEW, or MATERIALIZED VIEW; the kind must match."""
         key = name.lower()
+        if key in self._system:
+            raise CatalogError(
+                f"{name!r} is a system table and cannot be dropped"
+            )
         obj = self._objects.get(key)
         if obj is None:
             if if_exists:

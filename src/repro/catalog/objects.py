@@ -12,7 +12,7 @@ analyzed definition the rewriter needs to decide subsumption.  It subclasses
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.catalog.schema import TableSchema
 from repro.sql import ast
@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.matview.definition import SummaryDefinition
     from repro.matview.stats import SummaryStats
 
-__all__ = ["BaseTable", "MaterializedView", "View", "CatalogObject"]
+__all__ = ["BaseTable", "MaterializedView", "View", "SystemTable", "CatalogObject"]
 
 
 @dataclass
@@ -81,4 +81,26 @@ class MaterializedView(BaseTable):
         return "MATERIALIZED VIEW"
 
 
-CatalogObject = BaseTable | View | MaterializedView
+@dataclass
+class SystemTable:
+    """A read-only virtual table answered by a provider, not storage.
+
+    System tables (the ``repro_*`` introspection family, see
+    :mod:`repro.introspect`) live in the catalog's reserved namespace: they
+    bind and scan like ordinary tables but ``provider()`` computes their
+    rows on demand, so they always reflect the live engine state.  The
+    executor snapshots the provider's rows once per query, giving every
+    scan of one execution a consistent view.
+    """
+
+    name: str
+    schema: TableSchema
+    provider: Callable[[], list[tuple]]
+    comment: str = ""
+
+    @property
+    def kind(self) -> str:
+        return "SYSTEM TABLE"
+
+
+CatalogObject = BaseTable | View | MaterializedView | SystemTable

@@ -16,6 +16,8 @@ Backslash meta-commands:
 ``\\matviews``              list materialized views with staleness and stats
 ``\\telemetry``             toggle database-lifetime telemetry collection
 ``\\stats``                 print the telemetry metrics (Prometheus text)
+``\\stat_statements``       print per-fingerprint statement statistics
+``\\flips``                 print detected plan flips
 ``\\events [N]``            print the last N telemetry events as JSON lines
 ``\\slowlog``               print the slow-query log
 ``\\i FILE``                execute a SQL script file
@@ -51,6 +53,9 @@ _HELP = """Meta commands:
   \\matviews          list materialized views (staleness, hit/miss stats)
   \\telemetry         toggle telemetry (lifetime metrics, events, traces)
   \\stats             print telemetry metrics (SHOW STATS shows them in SQL)
+  \\stat_statements   per-fingerprint statement statistics
+                     (SELECT * FROM repro_stat_statements in SQL)
+  \\flips             detected plan flips (SELECT * FROM repro_plan_flips)
   \\events [N]        print the last N telemetry events (default 10)
   \\slowlog           print slow queries (Database(slow_query_ms=...))
   \\i FILE            run a SQL script
@@ -145,6 +150,10 @@ class Shell:
                 self.write("telemetry off")
         elif command == "\\stats":
             self.show_stats()
+        elif command == "\\stat_statements":
+            self.show_stat_statements()
+        elif command == "\\flips":
+            self.show_flips()
         elif command == "\\events":
             self.show_events(argument)
         elif command == "\\slowlog":
@@ -220,6 +229,46 @@ class Shell:
         text = self.db.metrics_text()
         self.write(text.rstrip("\n") if text else "(no metrics)")
 
+    def show_stat_statements(self) -> None:
+        """Print per-fingerprint statement statistics, hottest first."""
+        if self.db.telemetry is None:
+            self.write("telemetry is off (\\telemetry to enable)")
+            return
+        entries = self.db.stat_statements()
+        if not entries:
+            self.write("(no statements recorded)")
+            return
+        self.write(
+            f"  {'fingerprint':16s} {'calls':>6s} {'total ms':>10s} "
+            f"{'mean ms':>9s} {'rows':>6s} {'errs':>5s}  query"
+        )
+        for entry in sorted(
+            entries, key=lambda e: e["total_wall_ms"], reverse=True
+        ):
+            self.write(
+                f"  {entry['fingerprint']:16s} {entry['calls']:6d} "
+                f"{entry['total_wall_ms']:10.3f} {entry['mean_wall_ms']:9.3f} "
+                f"{entry['rows_returned']:6d} {entry['errors']:5d}  "
+                f"{entry['query'][:60]}"
+            )
+
+    def show_flips(self) -> None:
+        """Print detected plan flips, oldest first."""
+        if self.db.telemetry is None:
+            self.write("telemetry is off (\\telemetry to enable)")
+            return
+        flips = self.db.plan_flips()
+        if not flips:
+            self.write("(no plan flips)")
+            return
+        for flip in flips:
+            self.write(
+                f"  #{flip['seq']} {flip['fingerprint']}: "
+                f"{flip['old_strategy']}/{flip['old_plan_hash']} -> "
+                f"{flip['new_strategy']}/{flip['new_plan_hash']}"
+            )
+            self.write(f"    {flip['query'][:70]}")
+
     def show_events(self, argument: str) -> None:
         """Print the last N telemetry events as JSON lines."""
         if self.db.telemetry is None:
@@ -258,7 +307,7 @@ class Shell:
 
     def describe(self, name: str) -> None:
         """Print one object's columns, row count, and measures."""
-        from repro.catalog.objects import BaseTable, MaterializedView
+        from repro.catalog.objects import BaseTable, MaterializedView, SystemTable
         from repro.errors import CatalogError
         from repro.semantics.binder import Binder
 
@@ -288,6 +337,13 @@ class Shell:
             return
         if isinstance(obj, BaseTable):
             self.write(f"table {obj.name} ({len(obj.table)} rows)")
+            for column in obj.schema.columns:
+                self.write(f"  {column.name:20s} {column.dtype}")
+            return
+        if isinstance(obj, SystemTable):
+            self.write(f"system table {obj.name}")
+            if obj.comment:
+                self.write(f"  -- {obj.comment}")
             for column in obj.schema.columns:
                 self.write(f"  {column.name:20s} {column.dtype}")
             return

@@ -72,6 +72,9 @@ class ExecutionContext:
         self.source_rows_cache: dict = {}
         #: (source plan id, dimension key) -> {value: [row positions]}.
         self.dim_indexes: dict = {}
+        #: System-table name -> rows materialized at first scan, so every
+        #: scan in one execution sees the same snapshot (repro.introspect).
+        self.system_snapshots: dict = {}
         #: Keeps row tuples referenced by id()-based cache keys alive for the
         #: duration of the execution (an id may otherwise be reused by a new
         #: object after garbage collection, aliasing unrelated cache entries).

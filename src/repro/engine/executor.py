@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.catalog.objects import BaseTable
+from repro.catalog.objects import BaseTable, SystemTable
 from repro.engine.evaluator import EvalEnv, ExecutionContext, evaluate
 from repro.engine.window import compute_window_column
 from repro.errors import ExecutionError
@@ -56,6 +56,26 @@ def _execute_scan(plan: plans.Scan, ctx: ExecutionContext, outer_env) -> list[tu
             f"{plan.table_name!r} is not a base table at execution time"
         )
     rows = obj.table.rows
+    ctx.rows_scanned += len(rows)
+    return list(rows)
+
+
+def _execute_system_scan(
+    plan: plans.SystemScan, ctx: ExecutionContext, outer_env
+) -> list[tuple]:
+    obj = ctx.catalog.resolve(plan.table_name)
+    if not isinstance(obj, SystemTable):
+        raise ExecutionError(
+            f"{plan.table_name!r} is not a system table at execution time"
+        )
+    # Snapshot-at-scan-start: the provider runs once per query execution,
+    # so self-joins over a system table see one consistent set of rows and
+    # a query over repro_stat_statements never observes itself mid-flight.
+    key = plan.table_name.lower()
+    rows = ctx.system_snapshots.get(key)
+    if rows is None:
+        rows = obj.provider()
+        ctx.system_snapshots[key] = rows
     ctx.rows_scanned += len(rows)
     return list(rows)
 
@@ -454,6 +474,7 @@ def _count_rows(rows: list[tuple]) -> dict[tuple, int]:
 
 _DISPATCH = {
     plans.Scan: _execute_scan,
+    plans.SystemScan: _execute_system_scan,
     plans.ValuesPlan: _execute_values,
     plans.Filter: _execute_filter,
     plans.Project: _execute_project,

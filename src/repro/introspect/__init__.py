@@ -1,0 +1,45 @@
+"""Queryable introspection: the ``repro_*`` system tables.
+
+The database observing itself, as SQL.  This package provides
+
+* :func:`install_system_tables` — registers the seven virtual
+  ``repro_*`` tables in a Database's catalog (``repro_stat_statements``,
+  ``repro_plan_flips``, ``repro_metrics``, ``repro_events``,
+  ``repro_slow_queries``, ``repro_matviews``, ``repro_tables``);
+* statement fingerprinting (:func:`fingerprint_statement`) — literals
+  normalized to ``?`` and IN-lists collapsed over the AST, so repeated
+  parameterized statements aggregate under one fingerprint;
+* plan hashing (:func:`plan_shape` / :func:`plan_hash`) and the
+  per-fingerprint :class:`StatementStatsStore` whose flip detector backs
+  ``repro_plan_flips``.
+
+Column references, fingerprinting rules, and plan-flip semantics are
+documented in ``docs/OBSERVABILITY.md`` ("System tables").
+"""
+
+from repro.introspect.fingerprint import (
+    fingerprint_statement,
+    is_introspection_plan,
+    normalize_statement,
+    plan_hash,
+    plan_shape,
+)
+from repro.introspect.statements import (
+    PlanFlip,
+    StatementEntry,
+    StatementStatsStore,
+)
+from repro.introspect.tables import SYSTEM_TABLE_NAMES, install_system_tables
+
+__all__ = [
+    "SYSTEM_TABLE_NAMES",
+    "PlanFlip",
+    "StatementEntry",
+    "StatementStatsStore",
+    "fingerprint_statement",
+    "install_system_tables",
+    "is_introspection_plan",
+    "normalize_statement",
+    "plan_hash",
+    "plan_shape",
+]

@@ -1,0 +1,207 @@
+"""Per-fingerprint statement statistics and the plan-flip log.
+
+The :class:`StatementStatsStore` is the storage behind the
+``repro_stat_statements`` and ``repro_plan_flips`` system tables: one
+entry per statement fingerprint accumulating calls, wall time, rows, and
+errors, plus the last observed execution strategy and plan hash.  When a
+fingerprint's plan hash *changes* between executions, :meth:`observe`
+returns a :class:`PlanFlip` describing the transition; the Telemetry
+facade turns that into a ``plan_flip`` event and a ``plan_flips_total``
+increment.
+
+Everything here is plain bookkeeping — no clocks beyond the flip
+timestamp, and the flip log is a bounded ring like every other telemetry
+buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+__all__ = ["StatementEntry", "PlanFlip", "StatementStatsStore"]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="microseconds")
+
+
+@dataclass
+class StatementEntry:
+    """Lifetime statistics for one statement fingerprint."""
+
+    fingerprint: str
+    query: str  # normalized (literal-free) text
+    calls: int = 0
+    total_wall_ms: float = 0.0
+    min_wall_ms: Optional[float] = None
+    max_wall_ms: Optional[float] = None
+    rows_returned: int = 0
+    errors: int = 0
+    last_strategy: Optional[str] = None
+    last_plan_hash: Optional[str] = None
+
+    @property
+    def mean_wall_ms(self) -> float:
+        return self.total_wall_ms / self.calls if self.calls else 0.0
+
+    def as_row(self) -> tuple:
+        """The ``repro_stat_statements`` row, in column order."""
+        return (
+            self.fingerprint,
+            self.query,
+            self.calls,
+            self.total_wall_ms,
+            self.mean_wall_ms,
+            self.min_wall_ms,
+            self.max_wall_ms,
+            self.rows_returned,
+            self.errors,
+            self.last_strategy,
+            self.last_plan_hash,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "query": self.query,
+            "calls": self.calls,
+            "total_wall_ms": self.total_wall_ms,
+            "mean_wall_ms": self.mean_wall_ms,
+            "min_wall_ms": self.min_wall_ms,
+            "max_wall_ms": self.max_wall_ms,
+            "rows_returned": self.rows_returned,
+            "errors": self.errors,
+            "last_strategy": self.last_strategy,
+            "last_plan_hash": self.last_plan_hash,
+        }
+
+
+@dataclass
+class PlanFlip:
+    """One detected plan change for a statement fingerprint."""
+
+    seq: int
+    ts: str
+    fingerprint: str
+    query: str
+    old_strategy: Optional[str]
+    new_strategy: Optional[str]
+    old_plan_hash: str
+    new_plan_hash: str
+
+    def as_row(self) -> tuple:
+        return (
+            self.seq,
+            self.ts,
+            self.fingerprint,
+            self.query,
+            self.old_strategy,
+            self.new_strategy,
+            self.old_plan_hash,
+            self.new_plan_hash,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "fingerprint": self.fingerprint,
+            "query": self.query,
+            "old_strategy": self.old_strategy,
+            "new_strategy": self.new_strategy,
+            "old_plan_hash": self.old_plan_hash,
+            "new_plan_hash": self.new_plan_hash,
+        }
+
+
+class StatementStatsStore:
+    """Fingerprint-keyed statement statistics plus the flip ring."""
+
+    def __init__(self, *, flip_capacity: int = 200):
+        self._entries: Dict[str, StatementEntry] = {}
+        self._flips: deque = deque(maxlen=flip_capacity)
+        self._flip_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _entry(self, fingerprint: str, query: str) -> StatementEntry:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            entry = StatementEntry(fingerprint, query)
+            self._entries[fingerprint] = entry
+        return entry
+
+    def observe(
+        self,
+        fingerprint: str,
+        query: str,
+        duration_ms: float,
+        *,
+        rows: int = 0,
+        strategy: Optional[str] = None,
+        plan_hash: Optional[str] = None,
+    ) -> Optional[PlanFlip]:
+        """Record one completed execution; returns the flip, if any.
+
+        A flip is a *change* of plan hash: the first hash seen for a
+        fingerprint only seeds the detector, and statements with no plan
+        (``plan_hash`` None — DDL, utilities) never flip or overwrite a
+        stored hash.
+        """
+        entry = self._entry(fingerprint, query)
+        entry.calls += 1
+        entry.total_wall_ms += duration_ms
+        entry.min_wall_ms = (
+            duration_ms
+            if entry.min_wall_ms is None
+            else min(entry.min_wall_ms, duration_ms)
+        )
+        entry.max_wall_ms = (
+            duration_ms
+            if entry.max_wall_ms is None
+            else max(entry.max_wall_ms, duration_ms)
+        )
+        entry.rows_returned += rows
+        flip: Optional[PlanFlip] = None
+        if plan_hash is not None:
+            if (
+                entry.last_plan_hash is not None
+                and entry.last_plan_hash != plan_hash
+            ):
+                self._flip_seq += 1
+                flip = PlanFlip(
+                    seq=self._flip_seq,
+                    ts=_utc_now(),
+                    fingerprint=fingerprint,
+                    query=query,
+                    old_strategy=entry.last_strategy,
+                    new_strategy=strategy,
+                    old_plan_hash=entry.last_plan_hash,
+                    new_plan_hash=plan_hash,
+                )
+                self._flips.append(flip)
+            entry.last_plan_hash = plan_hash
+        if strategy is not None:
+            entry.last_strategy = strategy
+        return flip
+
+    def record_error(self, fingerprint: str, query: str) -> None:
+        """Count a failed execution (never a call, never a flip)."""
+        self._entry(fingerprint, query).errors += 1
+
+    def entries(self) -> List[StatementEntry]:
+        """All entries, in first-seen order."""
+        return list(self._entries.values())
+
+    def flips(self) -> List[PlanFlip]:
+        """Retained plan flips, oldest first."""
+        return list(self._flips)
+
+    def reset(self) -> None:
+        """Discard all statistics and retained flips (``reset_stats()``)."""
+        self._entries.clear()
+        self._flips.clear()

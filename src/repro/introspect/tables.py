@@ -1,0 +1,252 @@
+"""The ``repro_*`` system tables: schemas and providers.
+
+:func:`install_system_tables` registers seven read-only virtual tables in
+a Database's catalog.  Each is a :class:`~repro.catalog.objects.SystemTable`
+whose provider closes over the Database and computes rows on demand — no
+storage, no refresh, always current.  They bind and scan like ordinary
+tables, so views (including measure views) compose over them and the
+whole measure vocabulary (``AS MEASURE``, ``AGGREGATE``, ``AT``) applies
+to the engine's own statistics.
+
+Telemetry-backed tables (``repro_stat_statements``, ``repro_metrics``,
+``repro_events``, ``repro_slow_queries``, ``repro_plan_flips``) are empty
+— not errors — when telemetry is off; ``repro_tables`` and
+``repro_matviews`` read the catalog and work regardless.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.catalog.objects import BaseTable, SystemTable, View
+from repro.catalog.schema import Column, TableSchema
+from repro.types import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Database
+
+__all__ = ["SYSTEM_TABLE_NAMES", "install_system_tables"]
+
+#: Every system table this module installs, in registration order.
+SYSTEM_TABLE_NAMES = (
+    "repro_stat_statements",
+    "repro_plan_flips",
+    "repro_metrics",
+    "repro_events",
+    "repro_slow_queries",
+    "repro_matviews",
+    "repro_tables",
+)
+
+
+def _schema(*columns: tuple) -> TableSchema:
+    return TableSchema([Column(name, dtype) for name, dtype in columns])
+
+
+def install_system_tables(db: "Database") -> None:
+    """Register the ``repro_*`` introspection tables in ``db``'s catalog."""
+
+    def stat_statements() -> list[tuple]:
+        if db.telemetry is None:
+            return []
+        return [e.as_row() for e in db.telemetry.statements.entries()]
+
+    def plan_flips() -> list[tuple]:
+        if db.telemetry is None:
+            return []
+        return [f.as_row() for f in db.telemetry.statements.flips()]
+
+    def metrics() -> list[tuple]:
+        if db.telemetry is None:
+            return []
+        return db.telemetry.registry.rows()
+
+    def events() -> list[tuple]:
+        if db.telemetry is None:
+            return []
+        rows = []
+        for entry in db.telemetry.events.tail():
+            detail = {
+                k: v
+                for k, v in entry.items()
+                if k not in ("seq", "ts", "event", "sql")
+            }
+            rows.append(
+                (
+                    entry["seq"],
+                    entry["ts"],
+                    entry["event"],
+                    entry.get("sql"),
+                    json.dumps(detail, default=str, sort_keys=True),
+                )
+            )
+        return rows
+
+    def slow_queries() -> list[tuple]:
+        if db.telemetry is None or db.telemetry.slow_log is None:
+            return []
+        return [
+            (
+                entry["seq"],
+                entry["ts"],
+                entry["sql"],
+                entry["duration_ms"],
+                entry["threshold_ms"],
+            )
+            for entry in db.telemetry.slow_log.entries()
+        ]
+
+    def matviews() -> list[tuple]:
+        rows = []
+        for view in db.catalog.materialized_views():
+            stats = view.stats
+            rows.append(
+                (
+                    view.name,
+                    view.definition.source_name,
+                    view.stale,
+                    len(view.table),
+                    stats.hits,
+                    stats.rejects,
+                    stats.stale_skips,
+                    stats.refreshes,
+                    stats.incremental_merges,
+                    stats.invalidations,
+                    stats.last_reject_reason,
+                )
+            )
+        return rows
+
+    def tables() -> list[tuple]:
+        rows = []
+        for obj in db.catalog:
+            if isinstance(obj, BaseTable):
+                columns, count = len(obj.schema.columns), len(obj.table)
+            else:
+                assert isinstance(obj, View)
+                columns = len(obj.column_names) or None
+                count = None
+            rows.append((obj.name, obj.kind.lower(), columns, count))
+        for system in db.catalog.system_tables():
+            rows.append(
+                (
+                    system.name,
+                    system.kind.lower(),
+                    len(system.schema.columns),
+                    None,
+                )
+            )
+        return sorted(rows, key=lambda r: r[0].lower())
+
+    register = db.catalog.register_system_table
+    register(
+        SystemTable(
+            "repro_stat_statements",
+            _schema(
+                ("fingerprint", VARCHAR),
+                ("query", VARCHAR),
+                ("calls", INTEGER),
+                ("total_wall_ms", DOUBLE),
+                ("mean_wall_ms", DOUBLE),
+                ("min_wall_ms", DOUBLE),
+                ("max_wall_ms", DOUBLE),
+                ("rows_returned", INTEGER),
+                ("errors", INTEGER),
+                ("last_strategy", VARCHAR),
+                ("last_plan_hash", VARCHAR),
+            ),
+            stat_statements,
+            comment="per-fingerprint statement statistics",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_plan_flips",
+            _schema(
+                ("seq", INTEGER),
+                ("ts", VARCHAR),
+                ("fingerprint", VARCHAR),
+                ("query", VARCHAR),
+                ("old_strategy", VARCHAR),
+                ("new_strategy", VARCHAR),
+                ("old_plan_hash", VARCHAR),
+                ("new_plan_hash", VARCHAR),
+            ),
+            plan_flips,
+            comment="plan-hash changes detected per statement fingerprint",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_metrics",
+            _schema(
+                ("metric", VARCHAR),
+                ("labels", VARCHAR),
+                ("value", DOUBLE),
+            ),
+            metrics,
+            comment="every telemetry metric sample (SHOW STATS as a table)",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_events",
+            _schema(
+                ("seq", INTEGER),
+                ("ts", VARCHAR),
+                ("event", VARCHAR),
+                ("sql", VARCHAR),
+                ("detail", VARCHAR),
+            ),
+            events,
+            comment="the structured event log (detail is a JSON object)",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_slow_queries",
+            _schema(
+                ("seq", INTEGER),
+                ("ts", VARCHAR),
+                ("sql", VARCHAR),
+                ("duration_ms", DOUBLE),
+                ("threshold_ms", DOUBLE),
+            ),
+            slow_queries,
+            comment="slow-query log entries (profiles stay in slow_queries())",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_matviews",
+            _schema(
+                ("name", VARCHAR),
+                ("source", VARCHAR),
+                ("stale", BOOLEAN),
+                ("row_count", INTEGER),
+                ("hits", INTEGER),
+                ("rejects", INTEGER),
+                ("stale_skips", INTEGER),
+                ("refreshes", INTEGER),
+                ("incremental_merges", INTEGER),
+                ("invalidations", INTEGER),
+                ("last_reject_reason", VARCHAR),
+            ),
+            matviews,
+            comment="materialized-view state and summary statistics",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_tables",
+            _schema(
+                ("name", VARCHAR),
+                ("kind", VARCHAR),
+                ("column_count", INTEGER),
+                ("row_count", INTEGER),
+            ),
+            tables,
+            comment="every catalog object, system tables included",
+        )
+    )

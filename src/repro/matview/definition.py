@@ -312,6 +312,15 @@ def _base_dependencies(
         )
     if isinstance(obj, BaseTable):
         return frozenset({key})
+    from repro.catalog.objects import SystemTable
+
+    if isinstance(obj, SystemTable):
+        # A summary over a system table could never be subsumption-matched
+        # or invalidated: its source mutates on every query (lint RP113).
+        raise CatalogError(
+            f"materialized view {mv_name!r} cannot be defined over system "
+            f"table {obj.name!r}: system tables are volatile"
+        )
     assert isinstance(obj, View)
     found: set[str] = {key}
     for node in obj.query.walk():

@@ -22,6 +22,7 @@ from repro.types import DataType
 __all__ = [
     "LogicalPlan",
     "Scan",
+    "SystemScan",
     "ValuesPlan",
     "Filter",
     "Project",
@@ -68,6 +69,20 @@ class Scan(LogicalPlan):
 
     def label(self) -> str:
         return f"Scan({self.table_name})"
+
+
+@dataclass
+class SystemScan(Scan):
+    """Read a snapshot of a virtual system table (``repro.introspect``).
+
+    Subclasses :class:`Scan` so every structural pass (optimizer,
+    validator, plan fingerprint) treats it as a leaf relation; only the
+    executor dispatches differently — it materializes the provider's rows
+    once per query and serves every scan from that snapshot.
+    """
+
+    def label(self) -> str:
+        return f"SystemScan({self.table_name})"
 
 
 @dataclass

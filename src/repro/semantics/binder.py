@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.objects import BaseTable, View
+from repro.catalog.objects import BaseTable, SystemTable, View
 from repro.core.context import ContextSpec, GroupTermSpec, VisibleInfo
 from repro.core.definition import Dimension, MeasureGroup, MeasureInstance
 from repro.core.modifiers import BoundSet, BoundWhere
@@ -609,7 +609,7 @@ class QueryBinder:
             if cte is not None:
                 return [c.name for c in cte.columns if not c.is_measure]
             obj = self.binder.catalog.resolve(ref.name)
-            if isinstance(obj, BaseTable):
+            if isinstance(obj, (BaseTable, SystemTable)):
                 return [c.name for c in obj.schema.columns]
             assert isinstance(obj, View)
             bound = self.binder.bind_query_as_relation(obj.query, None)
@@ -638,9 +638,15 @@ class QueryBinder:
             self._add_bound_relation(cte, ref.alias or ref.name)
             return cte.plan
         obj = self.binder.catalog.resolve(ref.name)
-        if isinstance(obj, BaseTable):
+        if isinstance(obj, (BaseTable, SystemTable)):
+            # System tables bind exactly like stored tables — same scope
+            # wiring, same column offsets — but plan to a SystemScan leaf
+            # so the executor reads the provider's snapshot, not storage.
             schema = [(c.name, c.dtype) for c in obj.schema.columns]
-            plan = plans.Scan(obj.name, schema)
+            plan_cls = (
+                plans.SystemScan if isinstance(obj, SystemTable) else plans.Scan
+            )
+            plan = plan_cls(obj.name, schema)
             start = self.next_offset
             columns = [
                 RelColumn(c.name, c.dtype, start + i)

@@ -135,6 +135,22 @@ class Telemetry:
             "Internal summary-maintenance queries (excluded from "
             "queries_total and every per-query metric).",
         )
+        self.introspection_queries_total = reg.counter(
+            "introspection_queries_total",
+            "Queries that scan only repro_* system tables (excluded from "
+            "queries_total and every per-query metric, mirroring the "
+            "internal-maintenance exclusion).",
+        )
+        self.plan_flips_total = reg.counter(
+            "plan_flips_total",
+            "Plan-hash changes detected between executions of one "
+            "statement fingerprint.",
+        )
+        from repro.introspect.statements import StatementStatsStore
+
+        #: Per-fingerprint statement statistics; backs the
+        #: repro_stat_statements and repro_plan_flips system tables.
+        self.statements = StatementStatsStore()
         self.matview_hits_total = reg.counter(
             "matview_hits_total",
             "Queries rewritten to read a materialized summary table.",
@@ -191,9 +207,26 @@ class Telemetry:
         rows: int,
         sql: Optional[str] = None,
         reports: Iterable[Any] = (),
+        fingerprint: Optional[str] = None,
+        query_text: Optional[str] = None,
+        plan_shape: Optional[str] = None,
+        introspection: bool = False,
     ) -> None:
         """Record one completed query (kind select/explain/...): metrics,
-        a lifecycle event, the trace, and — if slow — a slow-log entry."""
+        a lifecycle event, the trace, and — if slow — a slow-log entry.
+
+        ``fingerprint``/``query_text`` key the statement into the
+        per-fingerprint statistics store; ``plan_shape`` (the bound plan's
+        operator tree) combines with the decided strategy into the plan
+        hash the flip detector watches.  ``introspection`` marks a query
+        that scans only system tables: it increments
+        ``introspection_queries_total`` and touches *nothing else*, the
+        same exclusion internal maintenance gets — so the database
+        observing itself never skews the statistics being observed.
+        """
+        if introspection:
+            self.introspection_queries_total.inc()
+            return
         report_dicts = [
             {
                 "view": getattr(r.view, "name", r.view),
@@ -209,6 +242,23 @@ class Telemetry:
             else "interpreter"
         )
         duration_ms = profile.total_ms
+        if fingerprint is not None:
+            from repro.introspect.fingerprint import plan_hash
+
+            phash = (
+                None if plan_shape is None else plan_hash(strategy, plan_shape)
+            )
+            flip = self.statements.observe(
+                fingerprint,
+                query_text if query_text is not None else (sql or ""),
+                duration_ms,
+                rows=rows,
+                strategy=strategy,
+                plan_hash=phash,
+            )
+            if flip is not None:
+                self.plan_flips_total.inc()
+                self.events.record("plan_flip", **flip.as_dict())
         self.queries_total.inc(kind=kind, strategy=strategy)
         self.query_duration_ms.observe(duration_ms, kind=kind)
         self.rows_returned_total.inc(rows)
@@ -260,8 +310,20 @@ class Telemetry:
         *,
         rowcount: int = 0,
         sql: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        query_text: Optional[str] = None,
     ) -> None:
         """Record one non-query statement (DDL/DML/utility)."""
+        if fingerprint is not None:
+            # No bound plan, so no plan hash: statements can never flip,
+            # and observe() never overwrites a stored hash with None.
+            self.statements.observe(
+                fingerprint,
+                query_text if query_text is not None else (sql or ""),
+                duration_ms,
+                rows=rowcount,
+                strategy="none",
+            )
         self.queries_total.inc(kind=kind, strategy="none")
         self.query_duration_ms.observe(duration_ms, kind=kind)
         self.events.record(
@@ -285,8 +347,17 @@ class Telemetry:
             )
 
     def record_error(
-        self, exc: BaseException, *, sql: Optional[str] = None
+        self,
+        exc: BaseException,
+        *,
+        sql: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        query_text: Optional[str] = None,
     ) -> None:
+        if fingerprint is not None:
+            self.statements.record_error(
+                fingerprint, query_text if query_text is not None else (sql or "")
+            )
         self.errors_total.inc(**{"class": type(exc).__name__})
         self.events.record(
             "error",

@@ -84,6 +84,13 @@ NEGATIVE_FIXTURES = [
         "RP110",
     ),
     ("paper_db", "CREATE VIEW v AS SHOW STATS", "RP112"),
+    (
+        "paper_db",
+        "CREATE MATERIALIZED VIEW mv_stats AS "
+        "SELECT fingerprint, SUM(calls) AS c "
+        "FROM repro_stat_statements GROUP BY fingerprint",
+        "RP113",
+    ),
 ]
 
 

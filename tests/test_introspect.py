@@ -1,0 +1,359 @@
+"""The repro_* system tables: fingerprinting, statistics, plan flips.
+
+Covers the introspection subsystem end to end:
+
+* statement fingerprinting — literals and IN-list shapes normalize away,
+  structure does not;
+* the virtual catalog namespace — system tables resolve and bind but are
+  invisible to ``names()`` and protected from redefinition and DROP;
+* SystemScan — planning, EXPLAIN, and snapshot-at-scan-start semantics;
+* statistics accounting — calls/durations/rows/errors per fingerprint,
+  introspection exclusion, ``reset_stats``;
+* plan-flip detection — a strategy change for a repeated fingerprint
+  produces exactly one ``repro_plan_flips`` row, one ``plan_flips_total``
+  increment, and one ``plan_flip`` event;
+* the acceptance query — a measure defined over ``repro_stat_statements``
+  queried with ``AGGREGATE``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, SqlError
+from repro.introspect import (
+    SYSTEM_TABLE_NAMES,
+    fingerprint_statement,
+    normalize_statement,
+    plan_hash,
+    plan_shape,
+)
+from repro.sql.parser import parse_statement
+
+
+def tele_db(**kwargs) -> Database:
+    db = Database(telemetry=True, **kwargs)
+    db.execute("CREATE TABLE t (k INTEGER, g VARCHAR, v INTEGER)")
+    db.execute(
+        "INSERT INTO t VALUES (1, 'x', 10), (2, 'y', 20), (3, 'x', 30)"
+    )
+    return db
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+def fp(sql: str) -> str:
+    fingerprint, _ = fingerprint_statement(parse_statement(sql))
+    return fingerprint
+
+
+def test_literals_normalize_away():
+    assert fp("SELECT * FROM t WHERE v > 5") == fp(
+        "SELECT * FROM t WHERE v > 99"
+    )
+    assert fp("SELECT * FROM t WHERE g = 'x'") == fp(
+        "SELECT * FROM t WHERE g = 'something else'"
+    )
+
+
+def test_in_lists_collapse_regardless_of_length():
+    assert fp("SELECT * FROM t WHERE k IN (1)") == fp(
+        "SELECT * FROM t WHERE k IN (1, 2, 3, 4, 5)"
+    )
+
+
+def test_whitespace_and_keyword_case_normalize_away():
+    assert fp("select  *\nfrom t  where v > 5") == fp(
+        "SELECT * FROM t WHERE v > 5"
+    )
+
+
+def test_structure_still_distinguishes():
+    assert fp("SELECT k FROM t") != fp("SELECT v FROM t")
+    assert fp("SELECT k FROM t WHERE v > 1") != fp("SELECT k FROM t")
+    assert fp("SELECT k FROM t GROUP BY k") != fp("SELECT k FROM t")
+
+
+def test_normalized_text_shows_parameter_markers():
+    text = normalize_statement(
+        parse_statement("SELECT * FROM t WHERE v > 5 AND k IN (1, 2)")
+    )
+    assert "5" not in text and "2" not in text
+    assert "?" in text
+
+
+def test_plan_hash_depends_on_strategy_and_shape():
+    assert plan_hash("interpreter", "Scan(t)") != plan_hash(
+        "summary", "Scan(t)"
+    )
+    assert plan_hash("interpreter", "Scan(t)") != plan_hash(
+        "interpreter", "Scan(u)"
+    )
+    assert plan_hash("interpreter", "Scan(t)") == plan_hash(
+        "interpreter", "Scan(t)"
+    )
+
+
+# -- the virtual namespace ----------------------------------------------------
+
+
+def test_system_tables_resolve_but_stay_out_of_names(db):
+    assert db.catalog.names() == []
+    for name in SYSTEM_TABLE_NAMES:
+        assert name not in db.catalog
+        obj = db.catalog.resolve(name)
+        assert obj.kind == "SYSTEM TABLE"
+        assert db.catalog.is_system(name)
+
+
+def test_reserved_names_cannot_be_redefined(db):
+    with pytest.raises(CatalogError, match="system table"):
+        db.execute("CREATE TABLE repro_metrics (a INTEGER)")
+    with pytest.raises(CatalogError, match="system table"):
+        db.execute("CREATE VIEW repro_events AS SELECT 1 AS x")
+    with pytest.raises(CatalogError, match="cannot be dropped"):
+        db.execute("DROP TABLE repro_metrics")
+
+
+def test_materialized_view_over_system_table_rejected(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    with pytest.raises(CatalogError, match="volatile"):
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS "
+            "SELECT metric, SUM(value) AS s FROM repro_metrics "
+            "GROUP BY metric"
+        )
+
+
+def test_describe_system_table(db):
+    description = db.describe("repro_stat_statements")
+    assert description["kind"] == "system table"
+    column_names = [c["name"] for c in description["columns"]]
+    assert "fingerprint" in column_names
+    assert "total_wall_ms" in column_names
+
+
+def test_explain_shows_system_scan(db):
+    lines = [
+        line
+        for (line,) in db.execute(
+            "EXPLAIN SELECT metric FROM repro_metrics WHERE value > 1"
+        ).rows
+    ]
+    assert any("SystemScan(repro_metrics)" in line for line in lines)
+    assert not any(
+        "Scan(repro_metrics)" in line.replace("SystemScan", "")
+        for line in lines
+    )
+
+
+# -- querying the tables ------------------------------------------------------
+
+
+def test_repro_tables_lists_catalog_and_system_objects(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    db.execute("CREATE VIEW w AS SELECT k FROM t")
+    rows = db.execute("SELECT name, kind FROM repro_tables").rows
+    kinds = dict(rows)
+    assert kinds["t"] == "table"
+    assert kinds["w"] == "view"
+    for name in SYSTEM_TABLE_NAMES:
+        assert kinds[name] == "system table"
+
+
+def test_telemetry_off_tables_are_empty_not_errors(db):
+    assert db.execute("SELECT * FROM repro_stat_statements").rows == []
+    assert db.execute("SELECT * FROM repro_metrics").rows == []
+    assert db.execute("SELECT * FROM repro_plan_flips").rows == []
+    assert db.stat_statements() == []
+    assert db.plan_flips() == []
+
+
+def test_stat_statements_accumulates_per_fingerprint():
+    db = tele_db()
+    db.execute("SELECT * FROM t WHERE v > 5")
+    db.execute("SELECT * FROM t WHERE v > 25")
+    rows = db.execute(
+        "SELECT query, calls, rows_returned FROM repro_stat_statements "
+        "WHERE calls > 1"
+    ).rows
+    assert rows == [("SELECT * FROM t WHERE (v > ?)", 2, 4)]
+
+
+def test_errors_attributed_to_fingerprint():
+    db = tele_db()
+    for _ in range(2):
+        with pytest.raises(SqlError):
+            db.execute("SELECT nosuch FROM t")
+    entries = [e for e in db.stat_statements() if e["errors"]]
+    assert len(entries) == 1
+    assert entries[0]["errors"] == 2
+    assert entries[0]["calls"] == 0
+
+
+def test_queries_never_observe_themselves():
+    db = tele_db()
+    db.execute("SELECT * FROM t")
+    first = db.execute("SELECT COUNT(*) FROM repro_stat_statements").scalar()
+    second = db.execute("SELECT COUNT(*) FROM repro_stat_statements").scalar()
+    # Introspection reads are excluded from the statistics, so the count
+    # is stable no matter how often you look.
+    assert first == second
+    assert db.telemetry.introspection_queries_total.total() == 2.0
+
+
+def test_snapshot_is_consistent_within_one_query():
+    db = tele_db()
+    db.execute("SELECT * FROM t")
+    # Both sides of the self-join read the same scan-start snapshot, so
+    # the join never sees two different versions of the table.
+    rows = db.execute(
+        "SELECT a.fingerprint FROM repro_stat_statements AS a "
+        "JOIN repro_stat_statements AS b USING (fingerprint) "
+        "WHERE a.calls <> b.calls"
+    ).rows
+    assert rows == []
+
+
+def test_joining_system_table_with_user_table_counts_as_user_query():
+    db = tele_db()
+    before = db.telemetry.queries_total.total()
+    db.execute(
+        "SELECT t.k FROM t JOIN repro_tables AS s ON s.name = 'missing'"
+    )
+    assert db.telemetry.queries_total.total() == before + 1
+
+
+def test_reset_stats_clears_rows_but_not_metrics():
+    db = tele_db()
+    db.execute("SELECT * FROM t")
+    queries_before = db.telemetry.queries_total.total()
+    assert db.stat_statements()
+    db.reset_stats()
+    assert db.stat_statements() == []
+    assert db.plan_flips() == []
+    assert db.telemetry.queries_total.total() == queries_before
+
+
+def test_repro_matviews_reflects_hits_and_staleness():
+    db = flip_db()
+    db.execute(FLIP_QUERY)  # summary hit
+    rows = db.execute(
+        "SELECT name, source, stale, hits FROM repro_matviews"
+    ).rows
+    assert rows == [("by_prod", "sales", False, 1)]
+    db.execute("INSERT INTO sales VALUES ('c', 9)")
+    # Whatever maintenance policy applied (invalidation or incremental
+    # merge), the table mirrors the catalog object's live state.
+    view = db.catalog.resolve("by_prod")
+    rows = db.execute(
+        "SELECT name, stale, row_count FROM repro_matviews"
+    ).rows
+    assert rows == [("by_prod", view.stale, len(view.table))]
+
+
+# -- plan-flip detection ------------------------------------------------------
+
+
+def flip_db() -> Database:
+    """A database where the same query can execute under two strategies."""
+    db = Database(telemetry=True)
+    db.execute("CREATE TABLE sales (prod VARCHAR, amount INTEGER)")
+    db.execute(
+        "INSERT INTO sales VALUES ('a', 1), ('a', 2), ('b', 3), ('b', 4)"
+    )
+    db.execute(
+        "CREATE MATERIALIZED VIEW by_prod AS "
+        "SELECT prod, SUM(amount) AS s FROM sales GROUP BY prod"
+    )
+    return db
+
+
+FLIP_QUERY = "SELECT prod, SUM(amount) AS s FROM sales GROUP BY prod"
+
+
+def test_strategy_change_produces_exactly_one_flip():
+    db = flip_db()
+    db.summaries_enabled = False
+    db.execute(FLIP_QUERY)
+    db.summaries_enabled = True
+    db.execute(FLIP_QUERY)
+
+    flips = db.plan_flips()
+    assert len(flips) == 1
+    (flip,) = flips
+    assert flip["old_strategy"] == "interpreter"
+    assert flip["new_strategy"] == "summary"
+    assert flip["old_plan_hash"] != flip["new_plan_hash"]
+    assert db.telemetry.plan_flips_total.total() == 1.0
+    assert [e for e in db.events() if e["event"] == "plan_flip"]
+
+    rows = db.execute(
+        "SELECT fingerprint, old_strategy, new_strategy FROM repro_plan_flips"
+    ).rows
+    assert len(rows) == 1
+    assert rows[0][1:] == ("interpreter", "summary")
+
+
+def test_steady_plan_never_flips():
+    db = flip_db()
+    for _ in range(5):
+        db.execute(FLIP_QUERY)
+    assert db.plan_flips() == []
+    assert db.telemetry.plan_flips_total.total() == 0.0
+
+
+def test_ddl_rerun_does_not_flip_or_clear_hash():
+    db = flip_db()
+    db.execute(FLIP_QUERY)
+    # Statements without a bound plan (DDL/DML) observe with no plan
+    # hash; they can never flip and never overwrite a query's hash.
+    db.execute("INSERT INTO sales VALUES ('c', 5)")
+    db.execute("INSERT INTO sales VALUES ('d', 6)")
+    db.execute(FLIP_QUERY)
+    assert db.plan_flips() == []
+
+
+def test_explain_shape_matches_plan_shape_helper():
+    db = tele_db()
+    db.execute("SELECT g, SUM(v) FROM t GROUP BY g")
+    entry = next(
+        e
+        for e in db.stat_statements()
+        if e["query"].startswith("SELECT g, SUM")
+    )
+    assert entry["last_plan_hash"] is not None
+    assert entry["last_strategy"] == "interpreter"
+    # The hash is reproducible from the components the helper exposes.
+    shape = plan_shape(db._last_plan) if db._last_plan else None
+    # _last_plan belongs to the most recent query; re-run to repopulate.
+    db.execute("SELECT g, SUM(v) FROM t GROUP BY g")
+    shape = plan_shape(db._last_plan)
+    assert plan_hash("interpreter", shape) == entry["last_plan_hash"]
+
+
+# -- the acceptance query: measures over system tables -------------------------
+
+
+def test_measure_over_stat_statements():
+    db = tele_db()
+    db.execute("SELECT * FROM t WHERE v > 5")
+    db.execute("SELECT * FROM t WHERE v > 25")
+    db.execute("SELECT g, COUNT(*) FROM t GROUP BY g")
+    db.execute(
+        "CREATE VIEW stats_view AS "
+        "SELECT fingerprint, calls, SUM(total_wall_ms) AS MEASURE total_ms "
+        "FROM repro_stat_statements"
+    )
+    rows = db.execute(
+        "SELECT fingerprint, AGGREGATE(total_ms) FROM stats_view "
+        "GROUP BY fingerprint"
+    ).rows
+    expected = {
+        e["fingerprint"]: e["total_wall_ms"] for e in db.stat_statements()
+    }
+    assert len(rows) == len(expected)
+    for fingerprint, total_ms in rows:
+        assert total_ms == pytest.approx(expected[fingerprint])

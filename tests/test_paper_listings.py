@@ -451,10 +451,10 @@ ALL_LISTINGS = {
 }
 
 
-def _full_db() -> Database:
+def _full_db(**kwargs) -> Database:
     from repro.workloads.paper_data import load_paper_tables
 
-    db = Database()
+    db = Database(**kwargs)
     load_paper_tables(db)
     db.execute(
         """CREATE VIEW EnhancedOrders AS
@@ -515,3 +515,23 @@ def test_every_listing_explain_analyze_renders(listing, listings_plain_db):
     assert operator_lines, f"no annotated operators for {listing}"
     assert any(line.startswith("phases:") for line in lines)
     assert any(line.startswith("counters:") for line in lines)
+
+
+def test_every_listing_acquires_exactly_one_fingerprint_row():
+    """Statement statistics attribute each paper listing to exactly one
+    fingerprint: two runs of a listing collapse into one row with
+    calls=2, the fifteen listings stay distinct from each other, and
+    replaying identical queries never registers a plan flip."""
+    db = _full_db(telemetry=True)
+    db.reset_stats()  # drop the setup DDL's fingerprints
+    for sql in ALL_LISTINGS.values():
+        db.execute(sql)
+        db.execute(sql)
+    entries = db.stat_statements()
+    assert len(entries) == len(ALL_LISTINGS)
+    assert len({e["fingerprint"] for e in entries}) == len(ALL_LISTINGS)
+    for entry in entries:
+        assert entry["calls"] == 2
+        assert entry["errors"] == 0
+        assert entry["last_plan_hash"] is not None
+    assert db.plan_flips() == []

@@ -144,6 +144,111 @@ def test_queries_total_counts_execute_calls(rows, workload):
         assert sum(counts) == tele.query_duration_ms.count(**labels)
 
 
+introspection_strategy = st.sampled_from(
+    [
+        "SELECT * FROM repro_stat_statements",
+        "SELECT fingerprint, calls FROM repro_stat_statements WHERE calls > 0",
+        "SELECT * FROM repro_metrics",
+        "SELECT metric, value FROM repro_metrics WHERE value > 1",
+        "SELECT * FROM repro_plan_flips",
+        "SELECT name, kind FROM repro_tables",
+        "SELECT COUNT(*) FROM repro_events",
+    ]
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rows_strategy,
+    st.lists(
+        st.one_of(statement_strategy, introspection_strategy),
+        min_size=0,
+        max_size=20,
+    ),
+)
+def test_introspection_reads_never_count_as_queries(rows, workload):
+    """A query that scans only system tables is accounted under
+    ``introspection_queries_total``; ``queries_total`` is reserved for
+    user statements, so watching the database never perturbs the very
+    statistics being watched."""
+    db = make_db(rows, telemetry=True)
+    user_ok = introspection_ok = failed = 0
+    for sql in workload:
+        is_introspection = "repro_" in sql
+        try:
+            db.execute(sql)
+        except SqlError:
+            failed += 1
+        else:
+            if is_introspection:
+                introspection_ok += 1
+            else:
+                user_ok += 1
+    tele = db.telemetry
+    assert tele.queries_total.total() == user_ok
+    assert tele.introspection_queries_total.total() == introspection_ok
+    assert tele.errors_total.total() == failed
+    # Introspection reads never acquire a fingerprint entry either: the
+    # stats table only describes user statements.
+    for entry in db.stat_statements():
+        assert "repro_" not in entry["query"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy, workload_strategy)
+def test_stat_statements_consistent_with_metrics(rows, workload):
+    """Differential: the per-fingerprint statistics and the cumulative
+    metrics meter the same executions, so their aggregates must agree.
+
+    Every successful statement is one ``calls`` in exactly one stats row
+    and one ``queries_total`` increment; both feeds record the same
+    duration sample; errors attributed to a fingerprint (bind/execution)
+    are a subset of ``errors_total`` (parse errors have no statement to
+    fingerprint)."""
+    db = make_db(rows, telemetry=True)
+    for sql in workload:
+        try:
+            db.execute(sql)
+        except SqlError:
+            pass
+    metrics = db.metrics()
+    entries = db.stat_statements()
+
+    def counter_total(name: str) -> float:
+        return sum(s["value"] for s in metrics[name]["series"])
+
+    assert sum(e["calls"] for e in entries) == counter_total("queries_total")
+    assert sum(e["errors"] for e in entries) <= counter_total("errors_total")
+
+    stats_ms = sum(e["total_wall_ms"] for e in entries)
+    histogram_ms = sum(
+        s["sum"] for s in metrics["query_duration_ms"]["series"]
+    )
+    assert math.isclose(stats_ms, histogram_ms, rel_tol=1e-9, abs_tol=1e-9)
+
+    # Row-returning queries feed rows_returned_total; DML rowcounts are
+    # accounted only in the stats (strategy "none" entries).
+    query_rows = sum(
+        e["rows_returned"] for e in entries if e["last_strategy"] != "none"
+    )
+    assert query_rows == counter_total("rows_returned_total")
+
+    for e in entries:
+        if e["calls"]:
+            assert math.isclose(
+                e["mean_wall_ms"] * e["calls"],
+                e["total_wall_ms"],
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )
+            assert e["min_wall_ms"] - 1e-9 <= e["mean_wall_ms"]
+            assert e["mean_wall_ms"] <= e["max_wall_ms"] + 1e-9
+        else:
+            # Error-only entries: seen, never successfully executed.
+            assert e["errors"] > 0
+            assert e["total_wall_ms"] == 0.0
+
+
 @settings(max_examples=100, deadline=None)
 @given(rows_strategy, workload_strategy)
 def test_telemetry_on_off_identical_results(rows, workload):

@@ -581,6 +581,29 @@ def test_shell_slowlog(tele_shell):
     assert "Orders" in out.getvalue()
 
 
+def test_shell_stat_statements(tele_shell):
+    sh, out = tele_shell
+    sh.handle_line("SELECT * FROM Orders;")
+    sh.handle_line("\\stat_statements")
+    text = out.getvalue()
+    assert "fingerprint" in text
+    assert "SELECT * FROM Orders" in text
+
+
+def test_shell_stat_statements_off():
+    out = io.StringIO()
+    sh = Shell(Database(), out=out)
+    sh.handle_line("\\stat_statements")
+    assert "telemetry is off" in out.getvalue()
+
+
+def test_shell_flips_empty(tele_shell):
+    sh, out = tele_shell
+    sh.handle_line("SELECT 1;")
+    sh.handle_line("\\flips")
+    assert "no plan flips" in out.getvalue()
+
+
 def test_shell_telemetry_toggle():
     out = io.StringIO()
     sh = Shell(Database(), out=out)
@@ -684,6 +707,46 @@ def test_compare_rejects_wrong_schema(tmp_path):
     bad.write_text(json.dumps({"schema": "other-v9", "listings": {}}))
     with pytest.raises(SystemExit):
         compare_snapshots(good, str(bad), out=io.StringIO())
+
+
+def test_compare_missing_snapshot_exits_with_one_line_error(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    good = write_snapshot(tmp_path, "old.json", {})
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SystemExit) as exc_info:
+        compare_snapshots(good, str(missing), out=io.StringIO())
+    message = str(exc_info.value)
+    assert "snapshot file not found" in message
+    assert "\n" not in message
+    assert "Traceback" not in message
+
+
+def test_compare_malformed_snapshot_exits_with_one_line_error(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    good = write_snapshot(tmp_path, "old.json", {})
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as exc_info:
+        compare_snapshots(good, str(bad), out=io.StringIO())
+    message = str(exc_info.value)
+    assert "not valid JSON" in message
+    assert "\n" not in message
+
+
+def test_compare_wrong_schema_message_names_both_schemas(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    good = write_snapshot(tmp_path, "old.json", {})
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other-v9", "listings": {}}))
+    with pytest.raises(SystemExit) as exc_info:
+        compare_snapshots(good, str(bad), out=io.StringIO())
+    message = str(exc_info.value)
+    assert "repro-bench-v1" in message
+    assert "other-v9" in message
+    assert "\n" not in message
 
 
 def test_committed_baseline_compares_clean_against_itself():
