@@ -1,9 +1,9 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test bench report snapshot compare shell examples lint validate all
+.PHONY: test bench report snapshot compare shell serve server-smoke examples lint validate all
 
 # The committed perf baseline the regression gate compares against.
-BASELINE ?= benchmarks/BENCH_2026-08-06.json
+BASELINE ?= benchmarks/BENCH_2026-08-07.json
 
 test:
 	pytest tests/
@@ -24,6 +24,12 @@ compare:
 
 shell:
 	python -m repro
+
+serve:
+	python -m repro.server --listings
+
+server-smoke:
+	python scripts/server_smoke.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo ok; done

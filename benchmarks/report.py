@@ -29,8 +29,13 @@ experiment in DESIGN.md's index, and exits non-zero on any mismatch.
           "profile": { <QueryProfile.to_dict()> }
         }, ...
       },
-      "pytest_benchmark": { <--from file, verbatim "benchmarks" list> | null }
+      "pytest_benchmark": { <--from file, verbatim "benchmarks" list> | null },
+      "server": { <benchmarks.bench_server.measure_server() dict> }
     }
+
+The ``server`` key (added in the server PR) is ignored by ``--compare``,
+which gates on ``listings`` only, so old and new snapshots stay
+comparable.
 
 CI runs this after the benchmark job and uploads the file as an artifact, so
 the repo accumulates a comparable perf trajectory across commits.
@@ -174,6 +179,8 @@ def write_snapshot(
         with open(pytest_json) as handle:
             embedded = json.load(handle).get("benchmarks")
 
+    from benchmarks.bench_server import measure_server
+
     now = datetime.now(timezone.utc)
     payload = {
         "schema": SNAPSHOT_SCHEMA,
@@ -183,6 +190,7 @@ def write_snapshot(
         "repeats": repeats,
         "listings": listings,
         "pytest_benchmark": embedded,
+        "server": measure_server(),
     }
     if out_path is None:
         out_path = f"BENCH_{now.date().isoformat()}.json"

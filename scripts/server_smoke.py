@@ -1,0 +1,125 @@
+"""CI smoke test for the query server.
+
+Starts a real TCP server on a background thread, connects four clients,
+and replays every paper listing concurrently in each.  The run passes
+only if:
+
+1. every client's results are **byte-identical** (canonical JSON) to a
+   single-caller ``Database.execute()`` baseline,
+2. the shared plan cache reports hits (the listings were replayed from
+   cache, not replanned per client),
+3. zero plan flips were recorded (concurrent replays kept stable plans),
+4. a cache-hit replay is faster than a cold plan, and
+5. the server shuts down cleanly with no sessions left open.
+
+Run it as ``make server-smoke`` or ``python scripts/server_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)  # the benchmarks package
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.api import Database
+from repro.server import ServerThread, connect
+from repro.server.protocol import dumps_line, encode_result
+from repro.workloads.listings import SETUP, all_listing_sql
+from repro.workloads.paper_data import load_paper_tables
+
+CLIENTS = 4
+
+
+def build_database(telemetry: bool) -> Database:
+    db = Database(telemetry=telemetry)
+    load_paper_tables(db)
+    for ddl in SETUP.values():
+        db.execute(ddl)
+    return db
+
+
+def main() -> int:
+    reference = build_database(telemetry=False)
+    listings = all_listing_sql(reference)
+    baseline = {
+        name: dumps_line(encode_result(reference.execute(sql)))
+        for name, sql in listings.items()
+    }
+    print(f"baseline: {len(baseline)} paper listings")
+
+    db = build_database(telemetry=True)
+    failures: list[str] = []
+    with ServerThread(db) as server:
+        host, port = server.server.host, server.server.port
+        print(f"server listening on {host}:{port}")
+        results: list[dict] = [dict() for _ in range(CLIENTS)]
+        errors: list = []
+
+        def client(i: int) -> None:
+            try:
+                with connect(host, port) as conn:
+                    for name, sql in listings.items():
+                        payload = conn.query(sql).payload
+                        results[i][name] = dumps_line(payload)
+            except Exception as exc:
+                errors.append(f"client {i}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        failures.extend(errors)
+        for i in range(CLIENTS):
+            for name, blob in baseline.items():
+                got = results[i].get(name)
+                if got != blob:
+                    failures.append(f"client {i}: {name} diverged from baseline")
+
+        stats = server.manager.plan_cache.stats()
+        print(f"plan cache: {stats}")
+        if stats["hits"] <= 0:
+            failures.append("expected plan-cache hits > 0")
+        flips = db.plan_flips()
+        if flips:
+            failures.append(f"expected zero plan flips, got {len(flips)}")
+
+        from benchmarks.bench_server import _latency_pair
+
+        latency = _latency_pair(server.manager, repeats=5)
+        print(f"latency: {latency}")
+        if latency["cache_hit_ms"] >= latency["cold_plan_ms"]:
+            failures.append(
+                "cache-hit latency not below cold-plan latency: "
+                f"{latency}"
+            )
+
+        open_sessions = server.manager.sessions()
+        if open_sessions:
+            failures.append(
+                f"sessions left open after clients closed: "
+                f"{[s.id for s in open_sessions]}"
+            )
+
+    if failures:
+        print(f"\nSMOKE FAILED ({len(failures)}):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"\nSMOKE OK: {CLIENTS} clients x {len(baseline)} listings "
+        "byte-identical, cache hot, zero flips, clean shutdown."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ paper's Listing 5), and ``EXPLAIN EXPAND <query>`` does the same inside SQL.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.catalog import Catalog, MaterializedView, TableSchema
@@ -36,9 +37,34 @@ from repro.plan.optimizer import optimize
 from repro.result import Result, ResultColumn
 from repro.semantics.binder import Binder
 from repro.sql import ast, parse_statement, parse_statements
+from repro.storage.locks import RWLock
 from repro.types import parse_type_name
 
-__all__ = ["Database"]
+__all__ = ["Database", "PlannedQuery"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedQuery:
+    """A query planned once for repeated execution.
+
+    Produced by :meth:`Database.plan_query` and replayed by
+    :meth:`Database.execute_planned`; the query server's plan cache stores
+    these.  ``relations`` (every relation name the original AST references
+    plus every table the bound plan scans, lowercased) drives cache
+    invalidation; ``strategy``/``plan_shape`` reproduce the plan hash the
+    flip detector watches, so cached replays never look like plan changes.
+    """
+
+    sql: str
+    query: ast.Query
+    plan: Any
+    columns: tuple
+    strategy: str
+    reports: tuple
+    relations: frozenset
+    plan_shape: Optional[str]
+    fingerprint: Optional[str]
+    normalized: Optional[str]
 
 
 class Database:
@@ -116,6 +142,12 @@ class Database:
                 raise ValueError(
                     "pass slow_query_ms to the Telemetry instance, not both"
                 )
+        #: Single-writer/many-reader lock over the catalog and all table
+        #: data.  Direct Database calls do not take it (single-threaded use
+        #: stays zero-cost); the session layer (repro.server) wraps every
+        #: statement in rwlock.read() or rwlock.write(), which is what
+        #: makes concurrent sessions safe.
+        self.rwlock = RWLock()
         #: Internal: True while a refresh/delta query runs, so a summary's
         #: own definition is never answered from the (old) summary itself.
         self._suppress_summaries = False
@@ -418,6 +450,118 @@ class Database:
             rows=rows,
             rowcount=len(rows),
         )
+
+    # -- planned execution (the query server's path) -------------------------
+
+    def plan_query(self, query: ast.Query, *, sql: Optional[str] = None) -> PlannedQuery:
+        """Plan ``query`` once for repeated execution, without running it.
+
+        Runs the same rewrite -> bind -> optimize pipeline as
+        :meth:`execute` but returns the finished plan instead of rows.
+        Unlike the execute path, nothing is stored on the Database — the
+        returned :class:`PlannedQuery` is self-contained, so concurrent
+        sessions can plan and replay without racing on shared state.
+        Summary-rewrite telemetry is recorded here (at plan time); cached
+        replays deliberately skip the rewriter and its counters.
+        """
+        if isinstance(query, ast.ShowStats):
+            raise SqlError("SHOW STATS has no plan; execute it directly")
+        from repro.introspect import fingerprint_statement, plan_shape
+        from repro.plan.logical import Scan
+        from repro.sql.printer import to_sql
+        from repro.sql.visitor import find_all
+
+        statement = ast.QueryStatement(query)
+        if sql is None:
+            sql = to_sql(statement)
+        try:
+            fingerprint, normalized = fingerprint_statement(statement)
+        except Exception:
+            fingerprint = normalized = None
+        reports: tuple = ()
+        rewritten = query
+        if self.summaries_enabled and not self._suppress_summaries:
+            outcome = rewrite_query(self.catalog, query)
+            if self.telemetry is not None:
+                self.telemetry.record_rewrite(outcome)
+            reports = tuple(outcome.reports)
+            rewritten = outcome.query
+        binder = Binder(self.catalog)
+        plan, columns = binder.bind_query_top(rewritten)
+        if self.optimizer_enabled:
+            plan = optimize(plan, validate=self.validate_enabled)
+        elif self.validate_enabled:
+            from repro.analysis.validator import check_plan
+
+            check_plan(plan, "binding")
+        strategy = (
+            "summary"
+            if any(r.status == "hit" for r in reports)
+            else "interpreter"
+        )
+        relations = {
+            ref.name.lower() for ref in find_all(query, ast.TableName)
+        }
+        relations.update(
+            node.table_name.lower()
+            for node in plan.walk()
+            if isinstance(node, Scan)
+        )
+        return PlannedQuery(
+            sql=sql,
+            query=query,
+            plan=plan,
+            columns=tuple(columns),
+            strategy=strategy,
+            reports=reports,
+            relations=frozenset(relations),
+            plan_shape=plan_shape(plan),
+            fingerprint=fingerprint,
+            normalized=normalized,
+        )
+
+    def execute_planned(
+        self,
+        planned: PlannedQuery,
+        params: Sequence[Any] = (),
+        *,
+        cancel_event=None,
+        profiler=None,
+    ):
+        """Execute a :class:`PlannedQuery`; ``(Result, QueryProfile | None)``.
+
+        All mutable execution state lives in a fresh
+        :class:`ExecutionContext`, so any number of sessions can replay the
+        same plan concurrently.  Deliberately does NOT update
+        ``last_stats``/``last_profile()`` (shared slots would race) and
+        does not touch per-view summary latency attribution — the profile
+        is returned to the caller instead.  ``cancel_event`` (a
+        ``threading.Event``) aborts execution at the next operator
+        boundary with :class:`~repro.errors.QueryCancelled`.
+        """
+        ctx = ExecutionContext(
+            self.catalog,
+            enable_cache=self.cache_enabled,
+            params=params,
+            profiler=profiler,
+            cancel_event=cancel_event,
+        )
+        tracer = profiler.tracer if profiler is not None else None
+        span = tracer.begin("execute", "phase") if tracer is not None else None
+        rows = execute_plan(planned.plan, ctx)
+        if tracer is not None:
+            tracer.end(span)
+        profile = (
+            None
+            if profiler is None
+            else profiler.finish(planned.plan, ctx, len(rows), sql=planned.sql)
+        )
+        result = Result(
+            columns=[ResultColumn(c.name, c.dtype) for c in planned.columns],
+            rows=rows,
+            rowcount=len(rows),
+        )
+        return result, profile
 
     # -- DDL / DML ----------------------------------------------------------
 

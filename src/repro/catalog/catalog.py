@@ -28,6 +28,10 @@ class Catalog:
         #: Kept apart from user objects so names()/__contains__ and the
         #: shell's object listings show only what the user created.
         self._system: dict[str, SystemTable] = {}
+        #: Snapshot-group providers: group name -> zero-arg callable
+        #: returning ``{table_name: rows}`` for every member table, read
+        #: from the backing store in one atomic call.
+        self._snapshot_groups: dict[str, object] = {}
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._objects
@@ -63,6 +67,20 @@ class Catalog:
     def system_tables(self) -> list[SystemTable]:
         """All registered system tables, in name order."""
         return sorted(self._system.values(), key=lambda t: t.name.lower())
+
+    def register_snapshot_group(self, group: str, provider) -> None:
+        """Register a combined provider for a system-table snapshot group.
+
+        ``provider`` takes no arguments and returns ``{table_name: rows}``
+        covering every member table of the group; the executor calls it
+        once per query execution (at the first scan of any member) so the
+        member tables expose one consistent view of their shared store.
+        """
+        self._snapshot_groups[group] = provider
+
+    def snapshot_group(self, group: str):
+        """The group provider registered under ``group``, or None."""
+        return self._snapshot_groups.get(group)
 
     def is_system(self, name: str) -> bool:
         return name.lower() in self._system

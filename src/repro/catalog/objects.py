@@ -91,12 +91,20 @@ class SystemTable:
     rows on demand, so they always reflect the live engine state.  The
     executor snapshots the provider's rows once per query, giving every
     scan of one execution a consistent view.
+
+    ``group`` optionally names a *snapshot group* (see
+    :meth:`~repro.catalog.catalog.Catalog.register_snapshot_group`):
+    tables whose rows derive from one shared store are materialized
+    together, in a single call against that store, so a query joining
+    them (``repro_plan_flips`` x ``repro_stat_statements``) can never see
+    a torn cross-table state even while other sessions mutate the store.
     """
 
     name: str
     schema: TableSchema
     provider: Callable[[], list[tuple]]
     comment: str = ""
+    group: str | None = None
 
     @property
     def kind(self) -> str:

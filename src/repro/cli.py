@@ -23,6 +23,9 @@ Backslash meta-commands:
 ``\\i FILE``                execute a SQL script file
 ``\\load TABLE FILE.csv``   create TABLE from a CSV file
 ``\\demo``                  load the paper's Customers/Orders tables
+``\\connect HOST:PORT``     attach to a running query server; subsequent SQL
+                           runs in a server session (docs/SERVER.md)
+``\\disconnect``            close the server session, back to the local db
 =========================  ===================================================
 """
 
@@ -61,6 +64,9 @@ _HELP = """Meta commands:
   \\i FILE            run a SQL script
   \\load TABLE FILE   load a CSV file into a new table
   \\demo              load the paper's example tables
+  \\connect HOST:PORT attach to a query server (python -m repro.server);
+                     SQL then runs in a server session
+  \\disconnect        close the server session
 """
 
 _EXPAND_STRATEGIES = ("subquery", "inline", "window", "auto")
@@ -74,6 +80,8 @@ class Shell:
         self.out = out or sys.stdout
         self.timing = False
         self.buffer: list[str] = []
+        #: An open server connection (\connect), or None for local mode.
+        self.remote = None
 
     # -- output -------------------------------------------------------------
 
@@ -100,7 +108,11 @@ class Shell:
     @property
     def prompt(self) -> str:
         """The prompt string (continuation prompt while buffering)."""
-        return "   ...> " if self.buffer else "repro=> "
+        if self.buffer:
+            return "   ...> "
+        if self.remote is not None:
+            return f"repro@{self.remote.session_id}=> "
+        return "repro=> "
 
     # -- meta commands ----------------------------------------------------------
 
@@ -109,6 +121,12 @@ class Shell:
         command, _, argument = line.partition(" ")
         argument = argument.strip().rstrip(";")
         if command in ("\\q", "\\quit", "\\exit"):
+            if self.remote is not None:
+                try:
+                    self.remote.close()
+                except Exception:
+                    pass
+                self.remote = None
             return False
         if command == "\\?":
             self.write(_HELP)
@@ -177,6 +195,10 @@ class Shell:
 
             load_paper_tables(self.db)
             self.write("loaded Customers (3 rows) and Orders (5 rows)")
+        elif command == "\\connect":
+            self.do_connect(argument)
+        elif command == "\\disconnect":
+            self.do_disconnect()
         else:
             self.write(f"unknown command {command!r}; \\? for help")
         return True
@@ -357,10 +379,87 @@ class Shell:
             kind = "measure" if column.is_measure else ""
             self.write(f"  {column.name:20s} {column.dtype}  {kind}".rstrip())
 
+    # -- server connection ----------------------------------------------------
+
+    def do_connect(self, argument: str) -> None:
+        """``\\connect HOST:PORT``: open a session on a query server."""
+        from repro.server.client import ClientError, connect
+
+        if self.remote is not None:
+            self.write("already connected (\\disconnect first)")
+            return
+        host, _, port_text = argument.rpartition(":")
+        if not host:
+            host = "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            self.write("usage: \\connect HOST:PORT")
+            return
+        try:
+            self.remote = connect(host, port)
+        except (OSError, ClientError) as exc:
+            self.write(f"error: cannot connect to {host}:{port}: {exc}")
+            return
+        self.write(
+            f"connected to {host}:{port} as session {self.remote.session_id}"
+        )
+
+    def do_disconnect(self) -> None:
+        """``\\disconnect``: close the server session."""
+        if self.remote is None:
+            self.write("not connected")
+            return
+        try:
+            self.remote.close()
+        except Exception:
+            pass
+        self.remote = None
+        self.write("disconnected")
+
+    def run_remote_sql(self, sql: str) -> None:
+        """Run one statement in the connected server session."""
+        from repro.result import Result, ResultColumn
+        from repro.server.client import ClientError
+        from repro.types import VARCHAR
+
+        statement = sql.strip().rstrip(";").strip()
+        if not statement:
+            return
+        start = time.perf_counter()
+        try:
+            result = self.remote.query(statement)
+        except ClientError as exc:
+            self.write(f"error: {exc}")
+            return
+        except OSError as exc:
+            self.write(f"error: connection lost: {exc}")
+            self.remote = None
+            return
+        elapsed = (time.perf_counter() - start) * 1000
+        if result.columns:
+            # Wire values are already rendered (dates as ISO strings), so
+            # the local pretty-printer just needs names and cells.
+            local = Result(
+                columns=[ResultColumn(n, VARCHAR) for n in result.columns],
+                rows=[tuple(row) for row in result.rows],
+                rowcount=result.rowcount,
+                message=result.message,
+            )
+            self.write(local.pretty(max_rows=50))
+            self.write(f"({len(result.rows)} rows)")
+        else:
+            self.write(result.message or "ok")
+        if self.timing:
+            self.write(f"time: {elapsed:.1f} ms")
+
     # -- execution -----------------------------------------------------------
 
     def run_sql(self, sql: str) -> None:
         """Execute a SQL string and print results or a typed error."""
+        if self.remote is not None:
+            self.run_remote_sql(sql)
+            return
         profile_before = (
             self.db.last_profile() if self.db.profile_enabled else None
         )

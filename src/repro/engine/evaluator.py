@@ -58,7 +58,13 @@ class ExecutionContext:
     """Shared state for one query execution."""
 
     def __init__(
-        self, catalog, *, enable_cache: bool = True, params=(), profiler=None
+        self,
+        catalog,
+        *,
+        enable_cache: bool = True,
+        params=(),
+        profiler=None,
+        cancel_event=None,
     ):
         self.catalog = catalog
         self.enable_cache = enable_cache
@@ -67,6 +73,10 @@ class ExecutionContext:
         #: means every instrumentation site is a single attribute check;
         #: no timers run and no spans are allocated.
         self.profiler = profiler
+        #: Optional :class:`threading.Event`; when set, execution raises
+        #: :class:`~repro.errors.QueryCancelled` at the next operator
+        #: boundary (the server's ``cancel`` op, see :mod:`repro.server`).
+        self.cancel_event = cancel_event
         self.subquery_cache: dict = {}
         self.measure_cache: dict = {}
         self.source_rows_cache: dict = {}
@@ -75,6 +85,11 @@ class ExecutionContext:
         #: System-table name -> rows materialized at first scan, so every
         #: scan in one execution sees the same snapshot (repro.introspect).
         self.system_snapshots: dict = {}
+        #: Base-table name -> rows materialized at first scan: every scan
+        #: of one statement execution reads the same snapshot, so a
+        #: self-join sees one table state (snapshot-at-statement-start,
+        #: the user-table generalization of system_snapshots).
+        self.table_snapshots: dict = {}
         #: Keeps row tuples referenced by id()-based cache keys alive for the
         #: duration of the execution (an id may otherwise be reused by a new
         #: object after garbage collection, aliasing unrelated cache entries).

@@ -14,7 +14,7 @@ from typing import Any, Optional
 from repro.catalog.objects import BaseTable, SystemTable
 from repro.engine.evaluator import EvalEnv, ExecutionContext, evaluate
 from repro.engine.window import compute_window_column
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryCancelled
 from repro.plan import logical as plans
 from repro.semantics import bound as b
 
@@ -36,6 +36,11 @@ def execute_plan(
     method = _DISPATCH.get(type(plan))
     if method is None:
         raise ExecutionError(f"cannot execute {type(plan).__name__}")
+    # Cancellation lands at operator boundaries: one flag check per
+    # operator execution (correlated subqueries re-enter here, so a long
+    # nested-loop join still observes the flag frequently).
+    if ctx.cancel_event is not None and ctx.cancel_event.is_set():
+        raise QueryCancelled("query cancelled")
     profiler = ctx.profiler
     if profiler is None:
         return method(plan, ctx, outer_env)
@@ -55,7 +60,17 @@ def _execute_scan(plan: plans.Scan, ctx: ExecutionContext, outer_env) -> list[tu
         raise ExecutionError(
             f"{plan.table_name!r} is not a base table at execution time"
         )
-    rows = obj.table.rows
+    # Snapshot-at-statement-start: the first scan of a table materializes
+    # its rows for the whole execution, so a self-join (or any repeated
+    # scan) sees one consistent table state.  Combined with the session
+    # layer's reader/writer lock this gives statement-level snapshot
+    # reads: a query observes either the complete pre-statement or the
+    # complete post-statement state of every table, never a mix.
+    key = plan.table_name.lower()
+    rows = ctx.table_snapshots.get(key)
+    if rows is None:
+        rows = list(obj.table.rows)
+        ctx.table_snapshots[key] = rows
     ctx.rows_scanned += len(rows)
     return list(rows)
 
@@ -74,8 +89,20 @@ def _execute_system_scan(
     key = plan.table_name.lower()
     rows = ctx.system_snapshots.get(key)
     if rows is None:
-        rows = obj.provider()
-        ctx.system_snapshots[key] = rows
+        group = getattr(obj, "group", None)
+        group_provider = (
+            ctx.catalog.snapshot_group(group) if group is not None else None
+        )
+        if group_provider is not None:
+            # Tables sharing a backing store materialize together from one
+            # atomic store read, so a join across them (e.g. plan flips x
+            # stat statements) can never observe a torn cross-table state.
+            for name, member_rows in group_provider().items():
+                ctx.system_snapshots.setdefault(name.lower(), member_rows)
+            rows = ctx.system_snapshots[key]
+        else:
+            rows = obj.provider()
+            ctx.system_snapshots[key] = rows
     ctx.rows_scanned += len(rows)
     return list(rows)
 
@@ -90,7 +117,12 @@ def _execute_values(plan: plans.ValuesPlan, ctx: ExecutionContext, outer_env) ->
 def _execute_filter(plan: plans.Filter, ctx: ExecutionContext, outer_env) -> list[tuple]:
     rows = execute_plan(plan.input, ctx, outer_env)
     kept = []
-    for row in rows:
+    cancel = ctx.cancel_event
+    for index, row in enumerate(rows):
+        # Predicate loops dominate long queries, so cancellation is also
+        # polled here (every 256 rows), not just at operator boundaries.
+        if cancel is not None and not index & 0xFF and cancel.is_set():
+            raise QueryCancelled("query cancelled")
         env = EvalEnv(row, outer_env)
         if evaluate(plan.predicate, env, ctx) is True:
             kept.append(row)
@@ -113,8 +145,11 @@ def _execute_join(plan: plans.Join, ctx: ExecutionContext, outer_env) -> list[tu
     right_width = len(plan.right.schema)
     output: list[tuple] = []
 
+    cancel = ctx.cancel_event
     if plan.kind == "CROSS":
-        for left in left_rows:
+        for index, left in enumerate(left_rows):
+            if cancel is not None and not index & 0xFF and cancel.is_set():
+                raise QueryCancelled("query cancelled")
             for right in right_rows:
                 output.append(left + right)
         return output
@@ -136,7 +171,9 @@ def _execute_join(plan: plans.Join, ctx: ExecutionContext, outer_env) -> list[tu
             plan, "comparisons", len(left_rows) * len(right_rows)
         )
     right_matched = [False] * len(right_rows)
-    for left in left_rows:
+    for left_index, left in enumerate(left_rows):
+        if cancel is not None and not left_index & 0xFF and cancel.is_set():
+            raise QueryCancelled("query cancelled")
         matched = False
         for right_index, right in enumerate(right_rows):
             combined = left + right
@@ -292,8 +329,11 @@ def _execute_aggregate(plan: plans.Aggregate, ctx: ExecutionContext, outer_env) 
     output: list[tuple] = []
 
     # Pre-compute every group expression once per input row.
+    cancel = ctx.cancel_event
     keyed_rows: list[tuple[tuple, tuple]] = []
-    for row in input_rows:
+    for row_index, row in enumerate(input_rows):
+        if cancel is not None and not row_index & 0xFF and cancel.is_set():
+            raise QueryCancelled("query cancelled")
         env = EvalEnv(row, outer_env)
         keys = tuple(evaluate(expr, env, ctx) for expr in plan.group_exprs)
         keyed_rows.append((keys, row))

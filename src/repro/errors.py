@@ -79,6 +79,13 @@ class ExecutionError(SqlError):
     subquery returning more than one row, cast failures, ...)."""
 
 
+class QueryCancelled(ExecutionError):
+    """Raised when an in-flight statement is cancelled (the query server's
+    ``cancel`` operation).  The executor checks the session's cancel flag
+    at every operator boundary, so cancellation lands between operators —
+    never mid-row — and the session stays usable afterwards."""
+
+
 class MeasureError(BindError):
     """Raised for invalid measure definitions or uses: recursive measures,
     ``AT`` applied to a non-measure, ``CURRENT`` outside a ``SET`` modifier,

@@ -11,15 +11,21 @@ increment.
 
 Everything here is plain bookkeeping — no clocks beyond the flip
 timestamp, and the flip log is a bounded ring like every other telemetry
-buffer.
+buffer.  The store is thread-safe: concurrent sessions observe into the
+same fingerprint entry, so every mutation and every read happens under
+one store lock, and :meth:`reset` clears the entries *and* the flip ring
+atomically — a reader can never see a flip whose fingerprint is already
+gone from the statistics.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from collections import deque
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["StatementEntry", "PlanFlip", "StatementStatsStore"]
 
@@ -124,9 +130,13 @@ class StatementStatsStore:
         self._entries: Dict[str, StatementEntry] = {}
         self._flips: deque = deque(maxlen=flip_capacity)
         self._flip_seq = 0
+        #: One lock for the whole store: entry mutation, flip append, and
+        #: reset must be atomic with respect to concurrent sessions.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _entry(self, fingerprint: str, query: str) -> StatementEntry:
         entry = self._entries.get(fingerprint)
@@ -152,6 +162,26 @@ class StatementStatsStore:
         (``plan_hash`` None — DDL, utilities) never flip or overwrite a
         stored hash.
         """
+        with self._lock:
+            return self._observe_locked(
+                fingerprint,
+                query,
+                duration_ms,
+                rows=rows,
+                strategy=strategy,
+                plan_hash=plan_hash,
+            )
+
+    def _observe_locked(
+        self,
+        fingerprint: str,
+        query: str,
+        duration_ms: float,
+        *,
+        rows: int,
+        strategy: Optional[str],
+        plan_hash: Optional[str],
+    ) -> Optional[PlanFlip]:
         entry = self._entry(fingerprint, query)
         entry.calls += 1
         entry.total_wall_ms += duration_ms
@@ -191,17 +221,42 @@ class StatementStatsStore:
 
     def record_error(self, fingerprint: str, query: str) -> None:
         """Count a failed execution (never a call, never a flip)."""
-        self._entry(fingerprint, query).errors += 1
+        with self._lock:
+            self._entry(fingerprint, query).errors += 1
 
     def entries(self) -> List[StatementEntry]:
-        """All entries, in first-seen order."""
-        return list(self._entries.values())
+        """All entries, in first-seen order (point-in-time copies)."""
+        with self._lock:
+            return [dataclasses.replace(e) for e in self._entries.values()]
 
     def flips(self) -> List[PlanFlip]:
         """Retained plan flips, oldest first."""
-        return list(self._flips)
+        with self._lock:
+            return list(self._flips)
+
+    def snapshot(self) -> Tuple[List[StatementEntry], List[PlanFlip]]:
+        """Entries and flips captured under one lock acquisition.
+
+        This is the consistency primitive behind the
+        ``repro_stat_statements`` / ``repro_plan_flips`` snapshot group: a
+        query joining the two system tables sees one store state, so a
+        flip row always has a matching statistics row even while other
+        sessions execute or :meth:`reset` concurrently.
+        """
+        with self._lock:
+            return (
+                [dataclasses.replace(e) for e in self._entries.values()],
+                list(self._flips),
+            )
 
     def reset(self) -> None:
-        """Discard all statistics and retained flips (``reset_stats()``)."""
-        self._entries.clear()
-        self._flips.clear()
+        """Discard all statistics and retained flips (``reset_stats()``).
+
+        Both clears happen under the store lock — atomically, as far as
+        any concurrent observer is concerned — so ``repro_plan_flips``
+        can never reference a fingerprint absent from
+        ``repro_stat_statements``.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._flips.clear()

@@ -57,6 +57,23 @@ def install_system_tables(db: "Database") -> None:
             return []
         return [f.as_row() for f in db.telemetry.statements.flips()]
 
+    def statements_group() -> dict[str, list[tuple]]:
+        """Both statement tables from ONE locked read of the stats store.
+
+        A query touching repro_stat_statements and repro_plan_flips gets
+        rows derived from a single :meth:`StatementStatsStore.snapshot`,
+        so a concurrent ``reset_stats()`` (which clears entries and flips
+        atomically) can never leave a flip row pointing at a fingerprint
+        the statistics no longer contain.
+        """
+        if db.telemetry is None:
+            return {"repro_stat_statements": [], "repro_plan_flips": []}
+        entries, flips = db.telemetry.statements.snapshot()
+        return {
+            "repro_stat_statements": [e.as_row() for e in entries],
+            "repro_plan_flips": [f.as_row() for f in flips],
+        }
+
     def metrics() -> list[tuple]:
         if db.telemetry is None:
             return []
@@ -140,6 +157,7 @@ def install_system_tables(db: "Database") -> None:
         return sorted(rows, key=lambda r: r[0].lower())
 
     register = db.catalog.register_system_table
+    db.catalog.register_snapshot_group("statements", statements_group)
     register(
         SystemTable(
             "repro_stat_statements",
@@ -158,6 +176,7 @@ def install_system_tables(db: "Database") -> None:
             ),
             stat_statements,
             comment="per-fingerprint statement statistics",
+            group="statements",
         )
     )
     register(
@@ -175,6 +194,7 @@ def install_system_tables(db: "Database") -> None:
             ),
             plan_flips,
             comment="plan-hash changes detected per statement fingerprint",
+            group="statements",
         )
     )
     register(

@@ -1,0 +1,35 @@
+"""The concurrent query server: sessions, plan cache, protocol, client.
+
+Layers, bottom up:
+
+* :mod:`repro.server.plancache` — the shared LRU cache of
+  :class:`~repro.api.PlannedQuery`, with relation/fingerprint-targeted
+  invalidation.
+* :mod:`repro.server.session` — :class:`Session` /
+  :class:`SessionManager`: per-client execution contexts enforcing the
+  single-writer/many-reader lock discipline over one Database, plus the
+  ``repro_sessions`` and ``repro_plan_cache`` system tables.
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire format.
+* :mod:`repro.server.server` — the asyncio :class:`QueryServer` and the
+  background-thread :class:`ServerThread` harness.
+* :mod:`repro.server.client` — the thin blocking :class:`Connection`.
+
+See docs/SERVER.md for the protocol spec and semantics.
+"""
+
+from repro.server.client import ClientError, ClientResult, Connection, connect
+from repro.server.plancache import PlanCache
+from repro.server.server import QueryServer, ServerThread
+from repro.server.session import Session, SessionManager
+
+__all__ = [
+    "ClientError",
+    "ClientResult",
+    "Connection",
+    "connect",
+    "PlanCache",
+    "QueryServer",
+    "ServerThread",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.server`` — serve a database over TCP."""
+
+from repro.server.server import main
+
+main()

@@ -1,0 +1,186 @@
+"""A thin blocking client for the query server.
+
+:class:`Connection` wraps one TCP connection / one server session.  It is
+synchronous and request/response — exactly one statement in flight — with
+one deliberate exception: :meth:`cancel` may be called from *another
+thread* while a statement blocks, which is the whole point of cancel.
+Its response is matched by id like any other, so the two threads never
+fight over partial reads.
+
+>>> conn = connect("127.0.0.1", 7878)      # doctest: +SKIP
+>>> conn.query("SELECT 1 AS x").rows       # doctest: +SKIP
+[[1]]
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.server.protocol import dumps_line, loads_line
+
+__all__ = ["ClientError", "ClientResult", "Connection", "connect"]
+
+
+class ClientError(Exception):
+    """A server-reported failure; ``error_class`` names the server-side
+    exception type (``BindError``, ``QueryCancelled``, ...)."""
+
+    def __init__(self, error_class: str, message: str):
+        super().__init__(f"{error_class}: {message}")
+        self.error_class = error_class
+        self.message = message
+
+
+class ClientResult:
+    """One statement's decoded result payload."""
+
+    def __init__(self, payload: dict):
+        self.payload = payload
+        self.columns = [c["name"] for c in payload.get("columns", [])]
+        self.column_types = [c["type"] for c in payload.get("columns", [])]
+        self.rows = payload.get("rows", [])
+        self.rowcount = payload.get("rowcount", 0)
+        self.message = payload.get("message", "")
+
+    def scalar(self) -> Any:
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Connection:
+    """One session against a running query server."""
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._write_lock = threading.Lock()
+        self._read_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        #: Responses read while waiting for a different id (cancel replies
+        #: landing on the statement thread, mostly).
+        self._stash: dict = {}
+        #: Ids whose responses nobody will wait for (fire-and-forget
+        #: cancels); dropped on arrival instead of stashed forever.
+        self._discard: set = set()
+        self._closed = False
+        greeting = self._read_message()
+        if greeting.get("event") != "hello":
+            raise ClientError("ProtocolError", "expected hello greeting")
+        self.session_id = greeting.get("session")
+        self.server_version = greeting.get("version")
+
+    # -- public operations -------------------------------------------------
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ClientResult:
+        """Run one SQL statement; returns its result."""
+        payload = self._roundtrip(
+            {"op": "query", "sql": sql, "params": list(params)}
+        )
+        return ClientResult(payload)
+
+    def prepare(self, sql: str) -> str:
+        """Prepare a statement server-side; returns its handle."""
+        return self._roundtrip({"op": "prepare", "sql": sql})["handle"]
+
+    def execute(self, handle: str, params: Sequence[Any] = ()) -> ClientResult:
+        """Run a prepared statement with bound parameters."""
+        payload = self._roundtrip(
+            {"op": "execute", "handle": handle, "params": list(params)}
+        )
+        return ClientResult(payload)
+
+    def cancel(self, *, wait: bool = False) -> None:
+        """Abort the in-flight statement.
+
+        Fire-and-forget by default so it can be issued from a second
+        thread while the first blocks in :meth:`query`; pass ``wait=True``
+        only when no statement is in flight.
+        """
+        op_id = next(self._ids)
+        if not wait:
+            self._discard.add(op_id)
+        self._send({"op": "cancel", "id": op_id})
+        if wait:
+            self._wait_for(op_id)
+
+    def close(self) -> None:
+        """Close the session and the socket."""
+        if self._closed:
+            return
+        try:
+            self._roundtrip({"op": "close"})
+        except (OSError, ClientError):
+            pass
+        finally:
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        if self._closed:
+            raise ClientError("ConnectionClosed", "connection is closed")
+        with self._write_lock:
+            self._sock.sendall(dumps_line(message))
+
+    def _read_message(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ClientError("ConnectionClosed", "server closed the connection")
+        return loads_line(line)
+
+    def _wait_for(self, op_id: int) -> dict:
+        """Read responses until ``op_id``'s arrives; stash the others."""
+        with self._read_lock:
+            while True:
+                if op_id in self._stash:
+                    return self._stash.pop(op_id)
+                message = self._read_message()
+                got = message.get("id")
+                if got == op_id:
+                    return message
+                if got in self._discard:
+                    self._discard.remove(got)
+                    continue
+                if got is not None:
+                    self._stash[got] = message
+
+    def _roundtrip(self, request: dict) -> dict:
+        op_id = next(self._ids)
+        request["id"] = op_id
+        self._send(request)
+        response = self._wait_for(op_id)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ClientError(
+                error.get("class", "ServerError"),
+                error.get("message", "unknown server error"),
+            )
+        return response.get("result") or {}
+
+
+def connect(host: str = "127.0.0.1", port: int = 7878, **kwargs) -> Connection:
+    """Open a connection / session to a running query server."""
+    return Connection(host, port, **kwargs)

@@ -1,0 +1,170 @@
+"""The shared prepared-plan cache.
+
+One :class:`PlanCache` serves every session of a
+:class:`~repro.server.session.SessionManager`.  Entries are keyed by the
+statement's canonical printed SQL — the *exact* query text after the
+parser and printer normalize whitespace, comments, and redundant parens —
+with the PR 5 statement fingerprint stored alongside as metadata.  The
+fingerprint deliberately is NOT the key: it collapses literals to ``?``,
+and two queries that differ only in literals can have genuinely different
+semantics here (ordinal ``ORDER BY 2`` vs ``ORDER BY 3``, measure
+expansions that print-and-reparse constants), so each literal variant
+gets its own entry.  The fingerprint groups those variants for plan-flip
+eviction and for the ``repro_plan_cache`` system table.
+
+Invalidation reasons (the ``reason`` label on
+``plan_cache_evictions_total``):
+
+``lru``
+    Capacity eviction of the least-recently-used entry.
+``ddl``
+    A CREATE/DROP/replace changed the catalog; every entry is dropped.
+``dml``
+    INSERT/UPDATE/DELETE/TRUNCATE on a table; entries reading that table
+    (or any summary depending on it) are dropped.
+``refresh``
+    REFRESH MATERIALIZED VIEW; entries reading the view or anything in
+    its source chain are dropped (a summary hit may now be possible where
+    it wasn't, and vice versa).
+``flip``
+    The flip detector saw this fingerprint's plan change; all of the
+    fingerprint's entries are dropped so the next execution replans.
+``clear``
+    Explicit administrative clear.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterable, Optional
+
+from repro.api import PlannedQuery
+
+__all__ = ["PlanCache"]
+
+
+class _Entry:
+    __slots__ = ("planned", "hits")
+
+    def __init__(self, planned: PlannedQuery):
+        self.planned = planned
+        self.hits = 0
+
+
+class PlanCache:
+    """An LRU cache of :class:`~repro.api.PlannedQuery` keyed by SQL text.
+
+    Thread-safe: sessions on different connections hit and invalidate it
+    concurrently.  ``on_evict(reason, count)`` is called (outside the
+    lock) whenever entries leave the cache, which is how eviction counts
+    reach telemetry without the cache importing it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        on_evict: Optional[Callable[[str, int], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._on_evict = on_evict
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _notify(self, reason: str, count: int) -> None:
+        if count and self._on_evict is not None:
+            self._on_evict(reason, count)
+
+    def get(self, sql: str) -> Optional[PlannedQuery]:
+        """The cached plan for ``sql``, or None; a hit refreshes recency."""
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql)
+            entry.hits += 1
+            self.hits += 1
+            return entry.planned
+
+    def put(self, planned: PlannedQuery) -> None:
+        """Insert ``planned`` (keyed by its canonical SQL), evicting LRU
+        entries to stay within capacity."""
+        evicted = 0
+        with self._lock:
+            self._entries[planned.sql] = _Entry(planned)
+            self._entries.move_to_end(planned.sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        self._notify("lru", evicted)
+
+    def invalidate_all(self, reason: str = "ddl") -> int:
+        """Drop every entry (catalog changed under us)."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+        self._notify(reason, count)
+        return count
+
+    def invalidate_relations(
+        self, relations: Iterable[str], reason: str
+    ) -> int:
+        """Drop entries whose dependency set intersects ``relations``."""
+        targets = {name.lower() for name in relations}
+        with self._lock:
+            doomed = [
+                sql
+                for sql, entry in self._entries.items()
+                if entry.planned.relations & targets
+            ]
+            for sql in doomed:
+                del self._entries[sql]
+        self._notify(reason, len(doomed))
+        return len(doomed)
+
+    def evict_fingerprint(self, fingerprint: str, reason: str = "flip") -> int:
+        """Drop every entry of one statement fingerprint (plan flipped)."""
+        with self._lock:
+            doomed = [
+                sql
+                for sql, entry in self._entries.items()
+                if entry.planned.fingerprint == fingerprint
+            ]
+            for sql in doomed:
+                del self._entries[sql]
+        self._notify(reason, len(doomed))
+        return len(doomed)
+
+    def rows(self) -> list:
+        """Rows for the ``repro_plan_cache`` system table, LRU-first."""
+        with self._lock:
+            return [
+                (
+                    entry.planned.fingerprint,
+                    sql,
+                    entry.planned.strategy,
+                    entry.hits,
+                    len(entry.planned.relations),
+                    ",".join(sorted(entry.planned.relations)),
+                )
+                for sql, entry in self._entries.items()
+            ]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

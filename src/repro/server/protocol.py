@@ -1,0 +1,100 @@
+"""The wire protocol: newline-delimited JSON over a byte stream.
+
+One request per line, one response per line, matched by the client-chosen
+``id``.  Requests are objects with an ``op`` plus op-specific fields:
+
+``{"op": "query",   "id": 1, "sql": "...", "params": [...]}``
+    Parse and run one statement; responds with a result payload.
+``{"op": "prepare", "id": 2, "sql": "..."}``
+    Parse (and plan) a statement; responds with ``{"handle": "s1_p1"}``.
+``{"op": "execute", "id": 3, "handle": "s1_p1", "params": [...]}``
+    Run a prepared statement with bound parameters.
+``{"op": "cancel",  "id": 4}``
+    Abort the session's in-flight statement, if any.  Handled out of
+    band — it does not queue behind the statement it is cancelling.
+``{"op": "close",   "id": 5}``
+    Close the session; the server responds and then drops the
+    connection.
+
+Responses are ``{"id": n, "ok": true, "result": {...}}`` or
+``{"id": n, "ok": false, "error": {"class": "...", "message": "..."}}``.
+On connect the server first sends a greeting event (no ``id``):
+``{"event": "hello", "session": "s1", "server": "repro", "version": 1}``.
+
+Result payloads carry ``columns`` (name/type pairs), ``rows``,
+``rowcount``, and ``message``.  Row values are encoded canonically —
+dates as ISO strings, Decimals as strings — by :func:`encode_value`, and
+objects are serialized with sorted keys, so two runs of the same query
+produce byte-identical response lines.  The smoke test leans on exactly
+that property.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode_value",
+    "encode_result",
+    "error_payload",
+    "dumps_line",
+    "loads_line",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request/response line.  Generous — result sets here
+#: are paper listings, not dumps — but bounded, so a corrupt client
+#: cannot balloon server memory.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+def encode_value(value: Any) -> Any:
+    """A JSON-safe, canonical encoding of one result cell."""
+    if isinstance(value, datetime.datetime):
+        return value.isoformat(sep=" ")
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, decimal.Decimal):
+        return str(value)
+    return value
+
+
+def encode_result(result: Any) -> dict:
+    """The response payload for a :class:`~repro.result.Result`."""
+    return {
+        "columns": [
+            {"name": c.name, "type": str(c.dtype)} for c in result.columns
+        ],
+        "rows": [[encode_value(v) for v in row] for row in result.rows],
+        "rowcount": result.rowcount,
+        "message": result.message,
+    }
+
+
+def error_payload(exc: BaseException) -> dict:
+    return {"class": type(exc).__name__, "message": str(exc)}
+
+
+def dumps_line(obj: dict) -> bytes:
+    """Serialize one protocol message to a newline-terminated byte line.
+
+    Sorted keys and compact separators make the encoding canonical:
+    identical payloads are identical bytes.
+    """
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+        + "\n"
+    ).encode("utf-8")
+
+
+def loads_line(line: bytes) -> dict:
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message

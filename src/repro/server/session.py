@@ -1,0 +1,427 @@
+"""Sessions: per-client execution contexts over one shared Database.
+
+A :class:`SessionManager` owns the shared pieces — the Database, the
+:class:`~repro.server.plancache.PlanCache`, and the ``repro_sessions`` /
+``repro_plan_cache`` system tables — and hands out :class:`Session`
+objects, one per connected client.  Sessions are the concurrency
+boundary:
+
+* Every statement runs under the Database's single-writer/many-reader
+  lock (``Database.rwlock``).  Queries take the read side, so any number
+  of sessions read concurrently; DDL/DML/EXPLAIN take the write side and
+  run exclusively.
+* Within a statement, scans snapshot each table's rows at first touch
+  (:class:`~repro.engine.evaluator.ExecutionContext`), so a self-join
+  sees one consistent state even of a table the statement itself is not
+  allowed to change.
+* Queries go through the shared plan cache: the canonical SQL text is
+  the key, a hit replays the stored plan with fresh parameters, and a
+  miss plans cold and populates the cache.  Writes invalidate affected
+  entries before the write lock is released, and detected plan flips
+  evict every cached variant of the flipped fingerprint.
+
+Sessions can be used directly (the benchmark does) or through the
+asyncio server in :mod:`repro.server.server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from typing import Any, Optional, Sequence
+
+from repro.catalog import MaterializedView
+from repro.errors import SqlError
+from repro.result import Result
+from repro.server.plancache import PlanCache
+from repro.sql import ast, parse_statement
+
+__all__ = ["Session", "SessionManager"]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+#: Statements that mutate one named table (DML); invalidation targets the
+#: table plus every summary whose source chain includes it.
+_DML_TYPES = (ast.Insert, ast.Update, ast.Delete, ast.Truncate)
+
+#: Statements that change the catalog itself; the whole plan cache goes.
+_DDL_TYPES = (
+    ast.CreateTable,
+    ast.CreateTableAs,
+    ast.CreateView,
+    ast.CreateMaterializedView,
+    ast.DropObject,
+)
+
+
+class Session:
+    """One client's execution context.
+
+    Not thread-safe for concurrent *statements* — the server runs each
+    connection's operations in order — but :meth:`cancel` and the system
+    table reads may be called from any thread at any time.
+    """
+
+    def __init__(self, manager: "SessionManager", session_id: str, label: str = ""):
+        self.manager = manager
+        self.db = manager.db
+        self.id = session_id
+        self.label = label
+        self.created = _utc_now()
+        self.closed = False
+        self.statements = 0
+        #: Set by cancel(); the executor checks it at operator boundaries.
+        self.cancel_event = threading.Event()
+        self._prepared: dict = {}
+        self._prepared_seq = itertools.count(1)
+
+    # -- statement entry points ------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Parse and run one statement in this session."""
+        with self._statement_scope(sql):
+            statement = self._parse(sql)
+            return self._run(statement, sql, params)
+
+    def prepare(self, sql: str) -> str:
+        """Parse (and for queries, plan) ``sql``; returns a handle.
+
+        The plan lands in the shared cache keyed by its canonical text —
+        preparing is priming the cache plus pinning the parse.  If the
+        cache later drops the plan (DDL, eviction), execution transparently
+        replans; the handle never dangles.
+        """
+        with self._statement_scope(sql):
+            statement = self._parse(sql)
+            if isinstance(statement, ast.QueryStatement) and not isinstance(
+                statement.query, ast.ShowStats
+            ):
+                with self.db.rwlock.read():
+                    self._plan_for(statement)
+            handle = f"{self.id}_p{next(self._prepared_seq)}"
+            self._prepared[handle] = (sql, statement)
+            return handle
+
+    def execute_prepared(
+        self, handle: str, params: Sequence[Any] = ()
+    ) -> Result:
+        """Run a prepared statement, binding ``params`` to its ``?``s."""
+        try:
+            sql, statement = self._prepared[handle]
+        except KeyError:
+            raise SqlError(f"unknown prepared statement {handle!r}") from None
+        with self._statement_scope(sql):
+            return self._run(statement, sql, params)
+
+    def deallocate(self, handle: str) -> None:
+        self._prepared.pop(handle, None)
+
+    def _plan_for(self, statement: ast.QueryStatement) -> None:
+        """Prime the shared cache with this statement's plan (a prepare)."""
+        from repro.sql.printer import to_sql
+
+        key = to_sql(statement)
+        if self.manager.plan_cache.get(key) is None:
+            planned = self.db.plan_query(statement.query, sql=key)
+            self.manager.plan_cache.put(planned)
+
+    def cancel(self) -> None:
+        """Abort the statement currently executing in this session (if
+        any) at its next operator boundary."""
+        self.cancel_event.set()
+
+    def close(self) -> None:
+        self.manager.close_session(self)
+
+    @property
+    def prepared_count(self) -> int:
+        return len(self._prepared)
+
+    # -- internals --------------------------------------------------------
+
+    @contextmanager
+    def _statement_scope(self, sql: str):
+        """Per-statement bookkeeping: liveness check, cancel-flag reset,
+        and the telemetry session label (a ContextVar, so it follows this
+        statement across threads)."""
+        if self.closed:
+            raise SqlError(f"session {self.id} is closed")
+        self.statements += 1
+        # A cancel targets the in-flight statement; one arriving between
+        # statements is deliberately dropped here.
+        self.cancel_event.clear()
+        from repro.telemetry import current_session
+
+        token = current_session.set(self.id)
+        try:
+            yield
+        finally:
+            current_session.reset(token)
+
+    def _parse(self, sql: str) -> ast.Statement:
+        try:
+            return parse_statement(sql)
+        except SqlError as exc:
+            if self.db.telemetry is not None:
+                self.db.telemetry.record_error(exc, sql=sql)
+            raise
+
+    def _run(
+        self, statement: ast.Statement, sql: str, params: Sequence[Any]
+    ) -> Result:
+        if isinstance(statement, ast.QueryStatement):
+            return self._run_read(statement, sql, params)
+        return self._run_write(statement, sql, params)
+
+    def _run_read(
+        self,
+        statement: ast.QueryStatement,
+        sql: str,
+        params: Sequence[Any],
+    ) -> Result:
+        db = self.db
+        manager = self.manager
+        with db.rwlock.read():
+            if isinstance(statement.query, ast.ShowStats):
+                # Answered from the registry; no plan, nothing to cache.
+                if db.telemetry is not None:
+                    return db._run_traced_statement(statement, params, sql=sql)
+                return db._execute_statement(statement, params)
+            manager.sync_plan_flips()
+            from repro.sql.printer import to_sql
+
+            key = to_sql(statement)
+            planned = manager.plan_cache.get(key)
+            cached = planned is not None
+            telemetry = db.telemetry
+            if telemetry is not None:
+                if cached:
+                    telemetry.plan_cache_hits_total.inc()
+                else:
+                    telemetry.plan_cache_misses_total.inc()
+            try:
+                if planned is None:
+                    planned = db.plan_query(statement.query, sql=key)
+                    manager.plan_cache.put(planned)
+                profiler = None
+                if telemetry is not None:
+                    from repro.profile import Profiler
+
+                    profiler = Profiler()
+                result, profile = db.execute_planned(
+                    planned,
+                    params,
+                    cancel_event=self.cancel_event,
+                    profiler=profiler,
+                )
+            except SqlError as exc:
+                if telemetry is not None:
+                    fp = norm = None
+                    if planned is not None:
+                        fp, norm = planned.fingerprint, planned.normalized
+                    telemetry.record_error(
+                        exc, sql=key, fingerprint=fp, query_text=norm
+                    )
+                raise
+            if telemetry is not None:
+                from repro.introspect import is_introspection_plan
+                from repro.telemetry import statement_kind
+
+                telemetry.record_query(
+                    statement_kind(statement),
+                    profile,
+                    rows=len(result.rows),
+                    sql=key,
+                    # A cache hit never re-ran the rewriter; replaying the
+                    # cold run's reports would double-count summary hits.
+                    reports=() if cached else planned.reports,
+                    fingerprint=planned.fingerprint,
+                    query_text=planned.normalized,
+                    plan_shape=planned.plan_shape,
+                    strategy=planned.strategy,
+                    introspection=is_introspection_plan(planned.plan),
+                )
+                # If that observation flipped the plan, evict the
+                # fingerprint's cached variants before anyone replays them.
+                manager.sync_plan_flips()
+            return result
+
+    def _run_write(
+        self, statement: ast.Statement, sql: str, params: Sequence[Any]
+    ) -> Result:
+        db = self.db
+        with db.rwlock.write():
+            if db.telemetry is not None:
+                result = db._run_traced_statement(statement, params, sql=sql)
+            else:
+                result = db._execute_statement(statement, params)
+            # Invalidate while still exclusive: no reader can replay a
+            # stale plan between the mutation and the eviction.
+            self.manager.invalidate_for(statement)
+            return result
+
+
+class SessionManager:
+    """Shared session state for one Database: the session registry, the
+    plan cache, and the server-side system tables."""
+
+    def __init__(self, db, *, plan_cache_capacity: int = 128):
+        self.db = db
+        self._lock = threading.Lock()
+        self._sessions: dict = {}
+        self._session_seq = itertools.count(1)
+        #: Last plan-flip seq already translated into cache evictions.
+        self._flip_seq = 0
+
+        def on_evict(reason: str, count: int) -> None:
+            if db.telemetry is not None:
+                db.telemetry.plan_cache_evictions_total.inc(
+                    count, reason=reason
+                )
+
+        self.plan_cache = PlanCache(plan_cache_capacity, on_evict=on_evict)
+        self._install_system_tables()
+
+    # -- session lifecycle -------------------------------------------------
+
+    def open_session(self, label: str = "") -> Session:
+        with self._lock:
+            session = Session(self, f"s{next(self._session_seq)}", label)
+            self._sessions[session.id] = session
+        if self.db.telemetry is not None:
+            self.db.telemetry.sessions_opened_total.inc()
+            self.db.telemetry.events.record(
+                "session_open", session=session.id, label=label or None
+            )
+        return session
+
+    def close_session(self, session: Session) -> None:
+        with self._lock:
+            live = self._sessions.pop(session.id, None)
+        if live is None or session.closed:
+            return
+        session.closed = True
+        session.cancel_event.set()
+        session._prepared.clear()
+        if self.db.telemetry is not None:
+            self.db.telemetry.sessions_closed_total.inc()
+            self.db.telemetry.events.record(
+                "session_close",
+                session=session.id,
+                statements=session.statements,
+            )
+
+    def get(self, session_id: str) -> Optional[Session]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def sessions(self) -> list:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close_all(self) -> None:
+        for session in self.sessions():
+            self.close_session(session)
+
+    # -- plan-cache maintenance -------------------------------------------
+
+    def sync_plan_flips(self) -> None:
+        """Translate newly detected plan flips into cache evictions.
+
+        Any session (or direct Database use) may record a flip; whichever
+        session next looks at the cache applies the pending evictions.
+        The watermark is the store's monotonic flip seq, which survives
+        ``reset_stats()``, so a reset never replays or skips evictions.
+        """
+        telemetry = self.db.telemetry
+        if telemetry is None:
+            return
+        flips = telemetry.statements.flips()
+        with self._lock:
+            fresh = [f for f in flips if f.seq > self._flip_seq]
+            if fresh:
+                self._flip_seq = max(f.seq for f in fresh)
+        for flip in fresh:
+            self.plan_cache.evict_fingerprint(flip.fingerprint, "flip")
+
+    def invalidate_for(self, statement: ast.Statement) -> None:
+        """Evict plans a just-executed write statement may have staled."""
+        cache = self.plan_cache
+        if isinstance(statement, _DML_TYPES):
+            table = statement.table
+            # Summaries over the table are stale-marked (or incrementally
+            # merged) by maintenance; either way, a cached plan that reads
+            # the summary — or one that was rejected because of it — must
+            # be re-decided.
+            names = {table.lower()}
+            names.update(
+                v.name.lower()
+                for v in self.db.catalog.materialized_views_depending_on(table)
+            )
+            cache.invalidate_relations(names, "dml")
+        elif isinstance(statement, ast.RefreshMaterializedView):
+            names = {statement.name.lower()}
+            obj = self.db.catalog.get(statement.name)
+            if isinstance(obj, MaterializedView):
+                names.update(obj.definition.depends_on)
+            cache.invalidate_relations(names, "refresh")
+        elif isinstance(statement, _DDL_TYPES):
+            cache.invalidate_all("ddl")
+
+    # -- system tables -----------------------------------------------------
+
+    def _install_system_tables(self) -> None:
+        from repro.catalog.objects import SystemTable
+        from repro.catalog.schema import Column, TableSchema
+        from repro.types import INTEGER, VARCHAR
+
+        def _schema(*columns):
+            return TableSchema([Column(n, t) for n, t in columns])
+
+        def sessions_rows() -> list:
+            return [
+                (
+                    s.id,
+                    s.label or None,
+                    s.created,
+                    s.statements,
+                    s.prepared_count,
+                )
+                for s in self.sessions()
+            ]
+
+        register = self.db.catalog.register_system_table
+        register(
+            SystemTable(
+                "repro_sessions",
+                _schema(
+                    ("session_id", VARCHAR),
+                    ("label", VARCHAR),
+                    ("created", VARCHAR),
+                    ("statements", INTEGER),
+                    ("prepared", INTEGER),
+                ),
+                sessions_rows,
+                comment="open server sessions",
+            )
+        )
+        register(
+            SystemTable(
+                "repro_plan_cache",
+                _schema(
+                    ("fingerprint", VARCHAR),
+                    ("query", VARCHAR),
+                    ("strategy", VARCHAR),
+                    ("hits", INTEGER),
+                    ("relation_count", INTEGER),
+                    ("relations", VARCHAR),
+                ),
+                self.plan_cache.rows,
+                comment="cached prepared plans, least recently used first",
+            )
+        )

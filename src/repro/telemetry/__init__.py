@@ -18,6 +18,7 @@ All metric names, label sets, and schemas are documented in
 
 from __future__ import annotations
 
+import contextvars
 import re
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -43,9 +44,19 @@ __all__ = [
     "TRACE_SCHEMA",
     "DEFAULT_DURATION_BUCKETS_MS",
     "statement_kind",
+    "current_session",
 ]
 
 _CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+#: The session id attached to telemetry recorded from the current execution
+#: context, or "" for direct Database API use.  The query server sets it
+#: around each statement it runs; a ContextVar (rather than a thread-local)
+#: survives the ``asyncio.to_thread`` hop between the event loop and the
+#: worker thread that actually executes the statement.
+current_session: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_current_session", default=""
+)
 
 
 def statement_kind(statement: Any) -> str:
@@ -191,6 +202,31 @@ class Telemetry:
             "spans_dropped_total",
             "Trace spans dropped by the per-query span budget.",
         )
+        self.sessions_opened_total = reg.counter(
+            "sessions_opened_total", "Server sessions opened."
+        )
+        self.sessions_closed_total = reg.counter(
+            "sessions_closed_total", "Server sessions closed."
+        )
+        self.session_statements_total = reg.counter(
+            "session_statements_total",
+            "Statements executed through a server session, by session id.",
+            ("session",),
+        )
+        self.plan_cache_hits_total = reg.counter(
+            "plan_cache_hits_total",
+            "Statements served from a session's prepared-plan cache.",
+        )
+        self.plan_cache_misses_total = reg.counter(
+            "plan_cache_misses_total",
+            "Statements planned cold (no usable plan-cache entry).",
+        )
+        self.plan_cache_evictions_total = reg.counter(
+            "plan_cache_evictions_total",
+            "Plan-cache entries evicted, by reason "
+            "(lru, ddl, dml, refresh, flip, clear).",
+            ("reason",),
+        )
         self._profile_counters = tuple(
             (src, reg.counter(name, f"Lifetime total of the per-query "
                               f"'{src}' profile counter."))
@@ -211,6 +247,7 @@ class Telemetry:
         query_text: Optional[str] = None,
         plan_shape: Optional[str] = None,
         introspection: bool = False,
+        strategy: Optional[str] = None,
     ) -> None:
         """Record one completed query (kind select/explain/...): metrics,
         a lifecycle event, the trace, and — if slow — a slow-log entry.
@@ -223,7 +260,16 @@ class Telemetry:
         ``introspection_queries_total`` and touches *nothing else*, the
         same exclusion internal maintenance gets — so the database
         observing itself never skews the statistics being observed.
+
+        ``strategy`` overrides the strategy derived from ``reports``.  A
+        plan-cache hit replays a stored plan without re-running the
+        rewriter, so no reports exist; the session passes the strategy the
+        cold run decided, keeping the plan hash stable and the flip
+        detector quiet for cached executions.
         """
+        session = current_session.get()
+        if session:
+            self.session_statements_total.inc(session=session)
         if introspection:
             self.introspection_queries_total.inc()
             return
@@ -236,11 +282,12 @@ class Telemetry:
             }
             for r in reports
         ]
-        strategy = (
-            "summary"
-            if any(r["status"] == "hit" for r in report_dicts)
-            else "interpreter"
-        )
+        if strategy is None:
+            strategy = (
+                "summary"
+                if any(r["status"] == "hit" for r in report_dicts)
+                else "interpreter"
+            )
         duration_ms = profile.total_ms
         if fingerprint is not None:
             from repro.introspect.fingerprint import plan_hash
@@ -282,6 +329,8 @@ class Telemetry:
             "phases": phases,
             "sql": sql,
         }
+        if session:
+            event["session"] = session
         if report_dicts:
             event["summary"] = report_dicts
         if profile.spans_dropped:
@@ -314,6 +363,9 @@ class Telemetry:
         query_text: Optional[str] = None,
     ) -> None:
         """Record one non-query statement (DDL/DML/utility)."""
+        session = current_session.get()
+        if session:
+            self.session_statements_total.inc(session=session)
         if fingerprint is not None:
             # No bound plan, so no plan hash: statements can never flip,
             # and observe() never overwrites a stored hash with None.
@@ -326,13 +378,15 @@ class Telemetry:
             )
         self.queries_total.inc(kind=kind, strategy="none")
         self.query_duration_ms.observe(duration_ms, kind=kind)
-        self.events.record(
-            "statement",
-            kind=kind,
-            duration_ms=round(duration_ms, 3),
-            rowcount=rowcount,
-            sql=sql,
-        )
+        detail: Dict[str, Any] = {
+            "kind": kind,
+            "duration_ms": round(duration_ms, 3),
+            "rowcount": rowcount,
+            "sql": sql,
+        }
+        if session:
+            detail["session"] = session
+        self.events.record("statement", **detail)
         if (
             self.slow_log is not None
             and duration_ms >= self.slow_log.threshold_ms
@@ -359,12 +413,15 @@ class Telemetry:
                 fingerprint, query_text if query_text is not None else (sql or "")
             )
         self.errors_total.inc(**{"class": type(exc).__name__})
-        self.events.record(
-            "error",
-            error_class=type(exc).__name__,
-            message=str(exc),
-            sql=sql,
-        )
+        detail: Dict[str, Any] = {
+            "error_class": type(exc).__name__,
+            "message": str(exc),
+            "sql": sql,
+        }
+        session = current_session.get()
+        if session:
+            detail["session"] = session
+        self.events.record("error", **detail)
 
     # -- subsystem feeds -----------------------------------------------------
 

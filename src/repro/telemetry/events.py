@@ -14,6 +14,7 @@ configured threshold.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional
@@ -35,17 +36,25 @@ class EventLog:
         self.sink = sink
         self._events: deque = deque(maxlen=capacity)
         self._seq = 0
+        #: Guards seq assignment + append so concurrent sessions cannot
+        #: interleave (two events sharing a seq, or a torn tail() read).
+        self._lock = threading.Lock()
         #: Events that fell off the ring (observable data loss).
         self.dropped = 0
 
     def record(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Append one event; returns the stored dict (with seq/ts added)."""
-        self._seq += 1
-        entry: Dict[str, Any] = {"seq": self._seq, "ts": _utc_now(), "event": event}
-        entry.update(fields)
-        if len(self._events) == self.capacity:
-            self.dropped += 1
-        self._events.append(entry)
+        with self._lock:
+            self._seq += 1
+            entry: Dict[str, Any] = {
+                "seq": self._seq,
+                "ts": _utc_now(),
+                "event": event,
+            }
+            entry.update(fields)
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(entry)
         if self.sink is not None:
             self.sink.write(json.dumps(entry, default=str) + "\n")
         return entry
@@ -55,7 +64,8 @@ class EventLog:
 
     def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
         """The most recent ``n`` events, oldest first (all when ``n`` None)."""
-        events = list(self._events)
+        with self._lock:
+            events = list(self._events)
         if n is not None and n >= 0:
             events = events[-n:] if n else []
         return events
@@ -77,6 +87,7 @@ class SlowQueryLog:
         self.capacity = capacity
         self._entries: deque = deque(maxlen=capacity)
         self._seq = 0
+        self._lock = threading.Lock()
 
     def add(
         self,
@@ -84,21 +95,23 @@ class SlowQueryLog:
         duration_ms: float,
         profile: Optional[Dict[str, Any]],
     ) -> Dict[str, Any]:
-        self._seq += 1
-        entry = {
-            "seq": self._seq,
-            "ts": _utc_now(),
-            "sql": sql,
-            "duration_ms": duration_ms,
-            "threshold_ms": self.threshold_ms,
-            "profile": profile,
-        }
-        self._entries.append(entry)
-        return entry
+        with self._lock:
+            self._seq += 1
+            entry = {
+                "seq": self._seq,
+                "ts": _utc_now(),
+                "sql": sql,
+                "duration_ms": duration_ms,
+                "threshold_ms": self.threshold_ms,
+                "profile": profile,
+            }
+            self._entries.append(entry)
+            return entry
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def entries(self) -> List[Dict[str, Any]]:
         """All retained entries, oldest first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)

@@ -14,6 +14,7 @@ render time.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -71,17 +72,24 @@ def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
 
 
 class _Metric:
-    """Shared bookkeeping for one named metric family."""
+    """Shared bookkeeping for one named metric family.
+
+    Every mutation and every read of ``_series`` happens under the
+    per-metric ``_lock``: concurrent sessions increment the same counter
+    from worker threads, and ``value = value + amount`` on a plain dict
+    would lose increments under that interleaving.
+    """
 
     kind = "untyped"
 
-    __slots__ = ("name", "help", "labelnames", "_series")
+    __slots__ = ("name", "help", "labelnames", "_series", "_lock")
 
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
         self._series: Dict[LabelValues, object] = {}
+        self._lock = threading.Lock()
 
     def _key(self, labels: Dict[str, object]) -> LabelValues:
         if set(labels) != set(self.labelnames):
@@ -93,9 +101,9 @@ class _Metric:
 
     def labelsets(self) -> List[Dict[str, str]]:
         """Every label combination observed so far, as dicts."""
-        return [
-            dict(zip(self.labelnames, key)) for key in sorted(self._series)
-        ]
+        with self._lock:
+            keys = sorted(self._series)
+        return [dict(zip(self.labelnames, key)) for key in keys]
 
 
 class Counter(_Metric):
@@ -109,19 +117,25 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         """Current value for one label combination (0.0 if never bumped)."""
-        return float(self._series.get(self._key(labels), 0.0))
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
 
     def total(self) -> float:
         """Sum across every label combination."""
-        return float(sum(self._series.values()))
+        with self._lock:
+            return float(sum(self._series.values()))
 
     def samples(self) -> Iterable[Tuple[LabelValues, float]]:
-        for key in sorted(self._series):
-            yield key, float(self._series[key])
+        with self._lock:
+            snapshot = sorted(self._series.items())
+        for key, value in snapshot:
+            yield key, float(value)
 
 
 class Gauge(_Metric):
@@ -132,21 +146,28 @@ class Gauge(_Metric):
     __slots__ = ()
 
     def set(self, value: float, **labels: object) -> None:
-        self._series[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
-        return float(self._series.get(self._key(labels), 0.0))
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
 
     def samples(self) -> Iterable[Tuple[LabelValues, float]]:
-        for key in sorted(self._series):
-            yield key, float(self._series[key])
+        with self._lock:
+            snapshot = sorted(self._series.items())
+        for key, value in snapshot:
+            yield key, float(value)
 
 
 class _HistogramSeries:
@@ -162,6 +183,13 @@ class _HistogramSeries:
     @property
     def count(self) -> int:
         return sum(self.buckets)
+
+    def copy(self) -> "_HistogramSeries":
+        """A point-in-time copy (what :meth:`Histogram.samples` hands out)."""
+        snap = _HistogramSeries.__new__(_HistogramSeries)
+        snap.buckets = list(self.buckets)
+        snap.sum = self.sum
+        return snap
 
 
 class Histogram(_Metric):
@@ -186,31 +214,44 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: object) -> None:
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = _HistogramSeries(len(self.boundaries))
-            self._series[key] = series
-        series.buckets[bisect_left(self.boundaries, value)] += 1
-        series.sum += value
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.boundaries))
+                self._series[key] = series
+            series.buckets[bisect_left(self.boundaries, value)] += 1
+            series.sum += value
 
     def bucket_counts(self, **labels: object) -> List[int]:
         """Non-cumulative per-bucket counts (last entry is +Inf overflow)."""
-        series = self._series.get(self._key(labels))
-        if series is None:
-            return [0] * (len(self.boundaries) + 1)
-        return list(series.buckets)
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return [0] * (len(self.boundaries) + 1)
+            return list(series.buckets)
 
     def count(self, **labels: object) -> int:
-        series = self._series.get(self._key(labels))
-        return 0 if series is None else series.count
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0 if series is None else series.count
 
     def sum_(self, **labels: object) -> float:
-        series = self._series.get(self._key(labels))
-        return 0.0 if series is None else series.sum
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else series.sum
 
     def samples(self) -> Iterable[Tuple[LabelValues, _HistogramSeries]]:
-        for key in sorted(self._series):
-            yield key, self._series[key]
+        # Hand out copies: a renderer iterating buckets must not race
+        # concurrent observe() calls mutating them in place.
+        with self._lock:
+            snapshot = [
+                (key, series.copy())
+                for key, series in sorted(self._series.items())
+            ]
+        yield from snapshot
 
 
 class MetricsRegistry:
@@ -218,22 +259,24 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     # -- registration -------------------------------------------------------
 
     def _register(self, metric: _Metric) -> _Metric:
-        existing = self._metrics.get(metric.name)
-        if existing is not None:
-            if type(existing) is not type(metric) or (
-                existing.labelnames != metric.labelnames
-            ):
-                raise ValueError(
-                    f"metric {metric.name!r} already registered with a "
-                    "different kind or label set"
-                )
-            return existing
-        self._metrics[metric.name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric) or (
+                    existing.labelnames != metric.labelnames
+                ):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered with a "
+                        "different kind or label set"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
 
     def counter(
         self, name: str, help: str, labelnames: Sequence[str] = ()
@@ -257,10 +300,12 @@ class MetricsRegistry:
         )
 
     def get(self, name: str) -> Optional[_Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def metrics(self) -> List[_Metric]:
-        return [self._metrics[name] for name in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
 
     # -- export -------------------------------------------------------------
 

@@ -1,0 +1,310 @@
+"""Concurrency guarantees: thread-safe telemetry stores, the RWLock, and
+the session layer's no-torn-reads property.
+
+The stress tests here are deliberately small (a few threads, a few
+thousand operations) so they run in CI time, but every assertion is
+exact — lost increments and torn row sets are counted, not sampled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import Database
+from repro.server import SessionManager
+from repro.storage.locks import RWLock
+from repro.telemetry import EventLog, MetricsRegistry
+from repro.introspect.statements import StatementStatsStore
+
+
+def _run_threads(count, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+# -- satellite: thread-safe stores (no lost increments) ----------------------
+
+
+class TestStoreThreadSafety:
+    THREADS = 8
+    OPS = 2000
+
+    def test_counter_increments_are_never_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "test", ("worker",))
+        plain = registry.counter("plain_total", "test")
+
+        def work(i):
+            for _ in range(self.OPS):
+                counter.inc(worker=f"w{i % 2}")
+                plain.inc()
+
+        _run_threads(self.THREADS, work)
+        assert plain.value() == self.THREADS * self.OPS
+        series = dict(counter.samples())
+        assert sum(series.values()) == self.THREADS * self.OPS
+
+    def test_histogram_observations_are_never_lost(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_ms", "test", buckets=(1.0, 10.0, 100.0))
+
+        def work(i):
+            for n in range(self.OPS):
+                hist.observe(float(n % 50))
+
+        _run_threads(self.THREADS, work)
+        assert hist.count() == self.THREADS * self.OPS
+
+    def test_event_log_seqs_unique_under_contention(self):
+        log = EventLog(capacity=self.THREADS * self.OPS + 1)
+
+        def work(i):
+            for n in range(self.OPS):
+                log.record("tick", worker=i, n=n)
+
+        _run_threads(self.THREADS, work)
+        events = log.tail()
+        assert len(events) == self.THREADS * self.OPS
+        seqs = [e["seq"] for e in events]
+        assert len(set(seqs)) == len(seqs)
+        assert seqs == sorted(seqs)
+
+    def test_statement_stats_calls_are_exact(self):
+        store = StatementStatsStore()
+
+        def work(i):
+            for _ in range(self.OPS):
+                store.observe("fp1", "SELECT ?", 1.0, rows=2)
+
+        _run_threads(self.THREADS, work)
+        (entry,) = store.entries()
+        assert entry.calls == self.THREADS * self.OPS
+        assert entry.rows_returned == 2 * self.THREADS * self.OPS
+
+
+# -- satellite: atomic reset (flips never orphaned) --------------------------
+
+
+class TestAtomicReset:
+    def test_reset_clears_entries_and_flips_together(self):
+        store = StatementStatsStore()
+        store.observe("fp", "q", 1.0, strategy="interpreter", plan_hash="a")
+        store.observe("fp", "q", 1.0, strategy="summary", plan_hash="b")
+        assert len(store.flips()) == 1
+        store.reset()
+        assert store.entries() == []
+        assert store.flips() == []
+
+    def test_snapshot_never_shows_flip_without_entry(self):
+        """Concurrent observe+reset: any snapshot that contains a flip must
+        also contain that flip's statistics entry."""
+        store = StatementStatsStore()
+        stop = threading.Event()
+        violations = []
+
+        def flipper():
+            toggle = 0
+            while not stop.is_set():
+                toggle ^= 1
+                store.observe(
+                    "fp", "q", 1.0,
+                    strategy="interpreter",
+                    plan_hash="a" if toggle else "b",
+                )
+
+        def resetter():
+            for _ in range(300):
+                store.reset()
+
+        def checker():
+            while not stop.is_set():
+                entries, flips = store.snapshot()
+                fingerprints = {e.fingerprint for e in entries}
+                for flip in flips:
+                    if flip.fingerprint not in fingerprints:
+                        violations.append(flip)
+
+        threads = [
+            threading.Thread(target=flipper),
+            threading.Thread(target=checker),
+        ]
+        for t in threads:
+            t.start()
+        resetter()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert violations == []
+
+    def test_database_reset_stats_clears_flip_ring(self):
+        db = Database(telemetry=True)
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        store = db.telemetry.statements
+        store.observe("fp", "q", 1.0, strategy="interpreter", plan_hash="a")
+        store.observe("fp", "q", 1.0, strategy="summary", plan_hash="b")
+        assert db.plan_flips()
+        db.reset_stats()
+        assert db.stat_statements() == []
+        assert db.plan_flips() == []
+
+
+# -- the RWLock itself --------------------------------------------------------
+
+
+class TestRWLock:
+    def test_read_is_reentrant(self):
+        lock = RWLock()
+        with lock.read():
+            with lock.read():
+                assert lock.readers == 2
+        assert lock.readers == 0
+
+    def test_write_excludes_readers(self):
+        lock = RWLock()
+        observed = []
+        ready = threading.Event()
+
+        def reader():
+            ready.set()
+            with lock.read():
+                observed.append("read")
+
+        lock.acquire_write()
+        t = threading.Thread(target=reader)
+        t.start()
+        ready.wait()
+        assert observed == []  # reader is blocked behind the writer
+        lock.release_write()
+        t.join()
+        assert observed == ["read"]
+
+    def test_no_read_to_write_upgrade(self):
+        lock = RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_writer_not_starved_by_reader_stream(self):
+        lock = RWLock()
+        wrote = threading.Event()
+
+        def writer():
+            with lock.write():
+                wrote.set()
+
+        with lock.read():
+            t = threading.Thread(target=writer)
+            t.start()
+            # Give the writer time to queue; new read attempts from other
+            # threads must now wait behind it.
+            blocked = threading.Event()
+            entered = threading.Event()
+
+            def late_reader():
+                blocked.set()
+                with lock.read():
+                    entered.set()
+
+            import time
+
+            time.sleep(0.05)
+            t2 = threading.Thread(target=late_reader)
+            t2.start()
+            blocked.wait()
+            time.sleep(0.05)
+            assert not entered.is_set()  # queued behind the waiting writer
+        t.join()
+        t2.join()
+        assert wrote.is_set() and entered.is_set()
+
+
+# -- satellite: N readers + 1 writer never observe torn rows ------------------
+
+
+class TestNoTornReads:
+    ROWS = 20
+    READERS = 4
+    WRITES = 60
+
+    def _db(self):
+        db = Database(telemetry=True)
+        db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+        values = ", ".join(f"({i}, 0)" for i in range(self.ROWS))
+        db.execute(f"INSERT INTO t VALUES {values}")
+        return db
+
+    def test_reader_sessions_see_whole_statements(self):
+        """A writer session rewrites every row to one value per statement;
+        reader sessions must always see 20 rows that all share a value."""
+        db = self._db()
+        manager = SessionManager(db)
+        torn = []
+        stop = threading.Event()
+
+        def writer():
+            session = manager.open_session(label="writer")
+            for k in range(1, self.WRITES + 1):
+                session.execute(f"UPDATE t SET v = {k}")
+            stop.set()
+            session.close()
+
+        def reader(i):
+            session = manager.open_session(label=f"reader{i}")
+            while not stop.is_set():
+                result = session.execute("SELECT v FROM t ORDER BY id")
+                values = {row[0] for row in result.rows}
+                if len(result.rows) != self.ROWS or len(values) != 1:
+                    torn.append(result.rows)
+            session.close()
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(self.READERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert torn == []
+
+    def test_self_join_sees_one_snapshot_per_statement(self):
+        """Within one statement, two scans of the same table agree even
+        while a writer churns it (snapshot-at-first-scan)."""
+        db = self._db()
+        manager = SessionManager(db)
+        mismatches = []
+        stop = threading.Event()
+
+        def writer():
+            session = manager.open_session()
+            for k in range(1, 40):
+                session.execute(f"UPDATE t SET v = {k}")
+            stop.set()
+            session.close()
+
+        def reader():
+            session = manager.open_session()
+            while not stop.is_set():
+                result = session.execute(
+                    "SELECT COUNT(*) FROM t AS a JOIN t AS b "
+                    "ON a.id = b.id AND a.v = b.v"
+                )
+                if result.scalar() != self.ROWS:
+                    mismatches.append(result.scalar())
+            session.close()
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mismatches == []
