@@ -37,6 +37,7 @@ examples:
 lint:
 	python -m repro.analysis --self-check
 	python -m repro.analysis --flip-check
+	python -m repro.analysis --lock-check
 
 validate:
 	REPRO_VALIDATE=1 pytest tests/

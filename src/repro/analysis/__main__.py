@@ -81,15 +81,60 @@ def _check_listings() -> int:
         db.execute(ddl)
     listings = dict(LISTINGS)
     listings.update(expanded_listings(db))
+    typed = 0
     for name, sql in sorted(listings.items()):
         diags = db.lint(sql)
         if diags:
             _print_findings(f"paper:{name}", sql, diags)
             failures += 1
+        failures += _check_listing_types(db, name, sql)
+        typed += 1
     print(
         f"paper listings: {len(listings)} queries + {len(SETUP)} views, "
-        f"{failures} with findings"
+        f"{typed} dataflow-typed, {failures} with findings"
     )
+    return failures
+
+
+def _check_listing_types(db: Database, name: str, sql: str) -> int:
+    """Dataflow coverage gate: every operator in a listing's plan must
+    carry facts, and no inferred output column type may be UNKNOWN."""
+    from repro.sql import parse_statement
+    from repro.types import UNKNOWN
+
+    statement = parse_statement(sql)
+    query = getattr(statement, "query", None)
+    if query is None:
+        return 0
+    try:
+        planned = db.plan_query(query, sql=sql)
+    except SqlError as exc:
+        print(f"FAIL types:{name}: planning failed: {exc}")
+        return 1
+    failures = 0
+
+    def visit(plan) -> None:
+        nonlocal failures
+        facts = getattr(plan, "facts", None)
+        if facts is None:
+            print(
+                f"FAIL types:{name}: operator {plan.label()} carries no "
+                f"dataflow facts"
+            )
+            failures += 1
+        for child in plan.inputs():
+            visit(child)
+
+    visit(planned.plan)
+    root_facts = getattr(planned.plan, "facts", None)
+    if root_facts is not None:
+        for column in root_facts.columns:
+            if column.dtype.unwrap() is UNKNOWN:
+                print(
+                    f"FAIL types:{name}: output column "
+                    f"{column.name or '?'!r} has UNKNOWN inferred type"
+                )
+                failures += 1
     return failures
 
 
@@ -177,12 +222,23 @@ def main(argv: list[str] | None = None) -> int:
         "plan_flip event",
     )
     parser.add_argument(
+        "--lock-check",
+        action="store_true",
+        help="statically check repro/server and repro/introspect for "
+        "Database state accessed outside rwlock scopes",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="with --lock-check, also print the allowlisted scopes",
+    )
+    parser.add_argument(
         "--examples-dir",
         default=None,
         help="override the examples directory (default: ./examples)",
     )
     args = parser.parse_args(argv)
-    if not args.self_check and not args.flip_check:
+    if not args.self_check and not args.flip_check and not args.lock_check:
         parser.print_help()
         return 2
 
@@ -199,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
             failures += _check_example_flips(examples_dir)
         else:
             print(f"flip-check: directory {examples_dir} not found, skipped")
+    if args.lock_check:
+        from repro.analysis.lockcheck import run_lock_check
+
+        failures += run_lock_check(verbose=args.verbose)
     if failures:
         print(f"self-check: FAILED ({failures} findings)")
         return 1

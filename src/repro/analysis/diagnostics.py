@@ -74,6 +74,26 @@ RULES: dict[str, tuple[Severity, str]] = {
         Severity.ERROR,
         "materialized view defined over a repro_* system table",
     ),
+    "RP114": (
+        Severity.ERROR,
+        "comparison between incompatible types",
+    ),
+    "RP115": (
+        Severity.WARNING,
+        "predicate is always NULL or always false",
+    ),
+    "RP116": (
+        Severity.ERROR,
+        "CAST of a constant that can never succeed",
+    ),
+    "RP117": (
+        Severity.ERROR,
+        "AT SET value type is incompatible with the dimension column",
+    ),
+    "RP118": (
+        Severity.WARNING,
+        "grouping key may be NULL from outer-join padding",
+    ),
 }
 
 

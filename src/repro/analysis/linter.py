@@ -228,15 +228,21 @@ class _Linter:
         try:
             binder = Binder(self.catalog)
             if view_def:
-                binder.bind_query_as_relation(query, None)
+                plan = binder.bind_query_as_relation(query, None).plan
             else:
-                binder.bind_query_top(query)
+                plan, _columns = binder.bind_query_top(query)
         except SqlError as exc:
             line = getattr(exc, "line", 0)
             column = getattr(exc, "column", 0)
             message = getattr(exc, "message", None) or str(exc)
             span = ast.Span(line, column) if line else ast.node_span(query)
             self.diags.append(_diag("RP002", message, span))
+            return
+        # The statement binds: run the dataflow-driven rules (RP114-RP118)
+        # over the bound plan, whose expressions carry source spans.
+        from repro.analysis.typecheck import dataflow_diagnostics
+
+        self.diags.extend(dataflow_diagnostics(self.catalog, plan))
 
     # -- resolution ---------------------------------------------------------
 

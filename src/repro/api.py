@@ -418,6 +418,14 @@ class Database:
             from repro.analysis.validator import check_plan
 
             check_plan(plan, "binding")
+        if profiler is not None:
+            # Dataflow facts ride on the plan nodes: the profiler folds
+            # them into the operator tree (types/keys/cardinality bounds
+            # per node), and the cardinality bounds are the input for
+            # cost-based strategy selection (ROADMAP).
+            from repro.analysis.dataflow import analyze_plan
+
+            analyze_plan(plan, self.catalog)
         ctx = ExecutionContext(
             self.catalog,
             enable_cache=self.cache_enabled,
@@ -494,6 +502,11 @@ class Database:
             from repro.analysis.validator import check_plan
 
             check_plan(plan, "binding")
+        from repro.analysis.dataflow import analyze_plan
+
+        # Facts (types/nullability/keys/cardinality bounds) travel with the
+        # cached plan; DML invalidation bounds how stale the bounds can get.
+        analyze_plan(plan, self.catalog)
         strategy = (
             "summary"
             if any(r.status == "hit" for r in reports)
@@ -813,7 +826,13 @@ class Database:
         plan, _ = binder.bind_query_top(query)
         if self.optimizer_enabled:
             plan = optimize(plan, validate=self.validate_enabled)
-        lines = lint_lines + summary_lines + plan_tree_string(plan).splitlines()
+        if statement.types:
+            from repro.analysis.dataflow import explain_types_lines
+
+            plan_lines = explain_types_lines(plan, self.catalog)
+        else:
+            plan_lines = plan_tree_string(plan).splitlines()
+        lines = lint_lines + summary_lines + plan_lines
         return Result(
             columns=[ResultColumn("plan", VARCHAR)],
             rows=[(line,) for line in lines],
@@ -836,9 +855,20 @@ class Database:
         profiler = Profiler()
         self._run_query(statement.query, profiler=profiler)
         profile = self._last_profile
+        types_lines: list[str] = []
+        if statement.types and self._last_plan is not None:
+            # (ANALYZE, TYPES): the observed tree first, then the same plan
+            # with the statically inferred facts, so predicted bounds can be
+            # read next to what actually happened.
+            from repro.analysis.dataflow import explain_types_lines
+
+            types_lines = ["types:"] + explain_types_lines(
+                self._last_plan, self.catalog
+            )
         lines = (
             lint_lines
             + profile.plan_lines()
+            + types_lines
             + profile.summary_lines()
         )
         return Result(

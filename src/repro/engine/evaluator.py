@@ -104,6 +104,34 @@ class ExecutionContext:
         self.nested_loop_joins = 0
 
 
+def _attach_span(exc: ExecutionError, expr: b.BoundExpr) -> ExecutionError:
+    """Stamp ``expr``'s source position onto ``exc`` if it has none yet
+    (the innermost located expression wins)."""
+    span = getattr(expr, "span", None)
+    if span is not None:
+        exc.attach_location(span.line, span.column)
+    return exc
+
+
+def _call_function(expr: b.BoundCall, args: list) -> Any:
+    """Apply a call's runtime function, converting stray Python errors into
+    located :class:`ExecutionError`\\ s.
+
+    A function raising bare ``TypeError``/``ValueError`` (e.g. a string
+    builtin applied to a non-string, or an int conversion of a malformed
+    string) would otherwise escape the SqlError hierarchy entirely and
+    surface as an unhandled Python exception with no SQL position.
+    """
+    try:
+        return expr.fn(*args)
+    except ExecutionError as exc:
+        raise _attach_span(exc, expr)
+    except (TypeError, ValueError) as exc:
+        raise _attach_span(
+            ExecutionError(f"invalid argument to {expr.op}: {exc}"), expr
+        ) from None
+
+
 def evaluate(expr: b.BoundExpr, env: EvalEnv, ctx: ExecutionContext) -> Any:
     """Evaluate a bound scalar expression."""
     if isinstance(expr, b.BoundLiteral):
@@ -138,7 +166,7 @@ def evaluate(expr: b.BoundExpr, env: EvalEnv, ctx: ExecutionContext) -> Any:
 
             return sql_or(left, evaluate(expr.args[1], env, ctx))
         args = [evaluate(arg, env, ctx) for arg in expr.args]
-        return expr.fn(*args)
+        return _call_function(expr, args)
     if isinstance(expr, b.BoundCase):
         for condition, result in expr.whens:
             if evaluate(condition, env, ctx) is True:
@@ -147,7 +175,10 @@ def evaluate(expr: b.BoundExpr, env: EvalEnv, ctx: ExecutionContext) -> Any:
             return evaluate(expr.else_result, env, ctx)
         return None
     if isinstance(expr, b.BoundCast):
-        return cast_value(evaluate(expr.operand, env, ctx), expr.dtype)
+        try:
+            return cast_value(evaluate(expr.operand, env, ctx), expr.dtype)
+        except ExecutionError as exc:
+            raise _attach_span(exc, expr)
     if isinstance(expr, b.BoundInList):
         return _evaluate_in_list(expr, env, ctx)
     if isinstance(expr, b.BoundAggRef):
@@ -211,7 +242,15 @@ def _evaluate_subquery(expr: b.BoundSubquery, env: EvalEnv, ctx: ExecutionContex
                 for depth, offset in expr.outer_refs
             )
             cache_key = (id(expr.plan), expr.kind, values)
-        except (ExecutionError, TypeError):
+            # An unhashable correlated value would raise from the dict
+            # lookup below; probe here so only that narrow case falls back
+            # to uncached execution (anything else must propagate).
+            hash(cache_key)
+        except ExecutionError:
+            # A correlation that escapes all scopes cannot be keyed; the
+            # subquery still executes (and raises properly if truly broken).
+            cache_key = None
+        except TypeError:
             cache_key = None
         if cache_key is not None and cache_key in ctx.subquery_cache:
             ctx.subquery_cache_hits += 1
@@ -268,7 +307,7 @@ def evaluate_formula(
         return _run_aggregate(formula, rows, env, ctx)
     if isinstance(formula, b.BoundCall):
         args = [evaluate_formula(arg, rows, env, ctx) for arg in formula.args]
-        return formula.fn(*args)
+        return _call_function(formula, args)
     if isinstance(formula, b.BoundLiteral):
         return formula.value
     if isinstance(formula, b.BoundCase):
@@ -279,7 +318,13 @@ def evaluate_formula(
             return evaluate_formula(formula.else_result, rows, env, ctx)
         return None
     if isinstance(formula, b.BoundCast):
-        return cast_value(evaluate_formula(formula.operand, rows, env, ctx), formula.dtype)
+        try:
+            return cast_value(
+                evaluate_formula(formula.operand, rows, env, ctx),
+                formula.dtype,
+            )
+        except ExecutionError as exc:
+            raise _attach_span(exc, formula)
     if isinstance(formula, b.BoundMeasureEval):
         from repro.core.evaluator import evaluate_measure
 

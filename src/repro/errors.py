@@ -76,7 +76,28 @@ class TypeCheckError(BindError):
 
 class ExecutionError(SqlError):
     """Raised when a runtime evaluation fails (division by zero, a scalar
-    subquery returning more than one row, cast failures, ...)."""
+    subquery returning more than one row, cast failures, ...).
+
+    Carries the 1-based ``line`` and ``column`` of the expression whose
+    evaluation failed when the evaluator knows it (bound expressions carry
+    their AST spans); both are 0 when the failure has no source position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def attach_location(self, line: int, column: int) -> "ExecutionError":
+        """Late-bind a source position; the innermost position wins and an
+        error that already has one keeps it while propagating outward."""
+        if not self.line and line:
+            self.line = line
+            self.column = column
+            self.args = (f"{self.message} at line {line}, column {column}",)
+        return self
 
 
 class QueryCancelled(ExecutionError):

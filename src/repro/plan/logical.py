@@ -44,6 +44,12 @@ class LogicalPlan:
 
     schema: Schema
 
+    #: Dataflow facts (``repro.analysis.dataflow.OperatorFacts``) attached
+    #: by :func:`~repro.analysis.dataflow.analyze_plan` after optimization.
+    #: An instance attribute, not a dataclass field, so plan equality and
+    #: structural fingerprints are unaffected.
+    facts = None
+
     def inputs(self) -> Iterator["LogicalPlan"]:
         return iter(())
 

@@ -2,7 +2,16 @@
 
 A small rule-based optimizer applied between binding and execution:
 
-* **constant folding** — literal-only scalar expressions are evaluated once;
+* **constant folding** — literal-only scalar expressions are evaluated once
+  (in filters, projections, join conditions, sort keys, LIMIT bounds, and
+  VALUES rows), with boolean identity simplification (``x AND TRUE`` →
+  ``x``) and strict-NULL propagation (``col = NULL`` → ``NULL``) on top;
+* **contradiction elimination** — a Filter whose predicate folded to a
+  constant FALSE/NULL is replaced by an empty VALUES relation;
+* **outer-join strengthening** — a LEFT/RIGHT/FULL join under a filter that
+  rejects the padded NULL rows (per the dataflow analysis in
+  :mod:`repro.analysis.dataflow`) is converted to the matching stricter
+  join kind;
 * **filter merging** — adjacent Filter nodes combine into one;
 * **filter pushdown** — Filters move below Projects (when the projection is
   column-pruning) and into the probe side of inner joins when the predicate
@@ -139,6 +148,12 @@ def _rewrite(plan: plans.LogicalPlan) -> tuple[plans.LogicalPlan, bool]:
     rewritten = _fold_plan_constants(plan)
     if rewritten is not None:
         return rewritten, True
+    rewritten = _eliminate_contradiction(plan)
+    if rewritten is not None:
+        return rewritten, True
+    rewritten = _strengthen_outer_join(plan)
+    if rewritten is not None:
+        return rewritten, True
     rewritten = _merge_filters(plan)
     if rewritten is not None:
         return rewritten, True
@@ -167,8 +182,66 @@ def _is_pure(expr: b.BoundExpr) -> bool:
     return False
 
 
+def _cannot_error(expr: b.BoundExpr) -> bool:
+    """True when evaluating ``expr`` can never raise: dropping it from a
+    plan cannot suppress a runtime error the original query would surface."""
+    return isinstance(
+        expr, (b.BoundLiteral, b.BoundColumn, b.BoundParameter)
+    )
+
+
+def _is_literal(expr: b.BoundExpr, value) -> bool:
+    return isinstance(expr, b.BoundLiteral) and expr.value is value
+
+
+def _simplify_call(node: b.BoundCall) -> Optional[b.BoundExpr]:
+    """Boolean identities and strict-NULL propagation, justified by the
+    dataflow lattice (see ``repro.analysis.dataflow.STRICT_OPS``).
+
+    The evaluator computes AND/OR left-to-right with short-circuiting, so a
+    simplification may only drop an operand that either would never have
+    been evaluated or provably cannot raise.
+    """
+    if node.op == "AND" and len(node.args) == 2:
+        left, right = node.args
+        if _is_literal(left, False):
+            return left
+        if _is_literal(left, True):
+            return right
+        if _is_literal(right, True):
+            return left
+        if _is_literal(right, False) and _cannot_error(left):
+            return right
+        return None
+    if node.op == "OR" and len(node.args) == 2:
+        left, right = node.args
+        if _is_literal(left, True):
+            return left
+        if _is_literal(left, False):
+            return right
+        if _is_literal(right, False):
+            return left
+        if _is_literal(right, True) and _cannot_error(left):
+            return right
+        return None
+    from repro.analysis.dataflow import STRICT_OPS
+
+    if node.op in STRICT_OPS and any(
+        _is_literal(arg, None) for arg in node.args
+    ):
+        # A strict operator with a known-NULL operand is NULL — but only
+        # fold when the discarded operands cannot raise at runtime.
+        if all(
+            _cannot_error(arg) for arg in node.args
+            if not _is_literal(arg, None)
+        ):
+            return b.BoundLiteral(None, node.dtype)
+    return None
+
+
 def fold_constants(expr: b.BoundExpr) -> b.BoundExpr:
-    """Evaluate literal-only subtrees once."""
+    """Evaluate literal-only subtrees once; simplify boolean identities and
+    strict-NULL applications as their operands fold to literals."""
 
     def visit(node: b.BoundExpr) -> Optional[b.BoundExpr]:
         if isinstance(node, b.BoundLiteral):
@@ -181,6 +254,11 @@ def fold_constants(expr: b.BoundExpr) -> b.BoundExpr:
             except SqlError:
                 return node  # fold nothing that errors (e.g. 1/0 under CASE)
             return b.BoundLiteral(value, infer_literal_type(value))
+        if isinstance(node, b.BoundCall):
+            simplified = _simplify_call(node)
+            if simplified is not None:
+                # Re-fold: the surviving operand may simplify further.
+                return fold_constants(simplified)
         return None
 
     return transform_expr(expr, visit)
@@ -189,21 +267,116 @@ def fold_constants(expr: b.BoundExpr) -> b.BoundExpr:
 def _fold_plan_constants(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
     if isinstance(plan, plans.Filter):
         folded = fold_constants(plan.predicate)
-        if isinstance(folded, b.BoundLiteral):
-            if folded.value is True:
-                return plan.input
-            # FALSE/NULL filter: keep the node (executor returns no rows
-            # quickly anyway) but only rewrite once to avoid loops.
-            if folded is not plan.predicate:
-                return plans.Filter(plan.input, folded)
-            return None
+        if isinstance(folded, b.BoundLiteral) and folded.value is True:
+            return plan.input
         if folded is not plan.predicate:
             return plans.Filter(plan.input, folded)
     if isinstance(plan, plans.Project):
         folded = [fold_constants(e) for e in plan.exprs]
         if any(new is not old for new, old in zip(folded, plan.exprs)):
             return plans.Project(plan.input, folded, plan.schema)
+    if isinstance(plan, plans.Join) and plan.condition is not None:
+        folded = fold_constants(plan.condition)
+        if isinstance(folded, b.BoundLiteral) and folded.value is True:
+            # A TRUE condition matches every pair — same as no condition
+            # for every join kind the executor implements.
+            return plans.Join(
+                plan.kind, plan.left, plan.right, None, list(plan.schema)
+            )
+        if folded is not plan.condition:
+            return plans.Join(
+                plan.kind, plan.left, plan.right, folded, list(plan.schema)
+            )
+    if isinstance(plan, plans.Sort) and plan.keys:
+        folded_keys = [
+            b.SortSpec(fold_constants(spec.expr), spec.descending, spec.nulls_first)
+            if fold_constants(spec.expr) is not spec.expr
+            else spec
+            for spec in plan.keys
+        ]
+        if any(new is not old for new, old in zip(folded_keys, plan.keys)):
+            return plans.Sort(plan.input, folded_keys)
+    if isinstance(plan, plans.Limit):
+        limit = None if plan.limit is None else fold_constants(plan.limit)
+        offset = None if plan.offset is None else fold_constants(plan.offset)
+        if limit is not plan.limit or offset is not plan.offset:
+            return plans.Limit(plan.input, limit, offset)
+    if isinstance(plan, plans.ValuesPlan) and plan.rows:
+        folded_rows = [[fold_constants(cell) for cell in row] for row in plan.rows]
+        if any(
+            new is not old
+            for new_row, old_row in zip(folded_rows, plan.rows)
+            for new, old in zip(new_row, old_row)
+        ):
+            return plans.ValuesPlan(folded_rows, plan.schema)
     return None
+
+
+def _eliminate_contradiction(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    """Filter with a statically FALSE/NULL predicate → empty relation.
+
+    Only fires on an already-folded literal predicate: the fold machinery
+    guarantees nothing that could raise at runtime was discarded to get
+    there, so replacing the whole subtree with zero rows is exact.
+    """
+    if (
+        isinstance(plan, plans.Filter)
+        and isinstance(plan.predicate, b.BoundLiteral)
+        and plan.predicate.value is not True
+    ):
+        return plans.ValuesPlan([], list(plan.schema))
+    return None
+
+
+def _strengthen_outer_join(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:
+    """Convert an outer join under a padded-row-rejecting filter to the
+    matching stricter kind.
+
+    Justified by the dataflow facts: re-inferring the filter predicate with
+    one side's columns pinned to the constant NULL yields a constant
+    FALSE/NULL, so the NULL-padded rows that distinguish the outer join
+    from its stricter counterpart never survive the filter.  Surviving rows
+    keep their order (both join algorithms emit matches in left-row order),
+    so results are byte-identical.
+    """
+    if not (isinstance(plan, plans.Filter) and isinstance(plan.input, plans.Join)):
+        return None
+    join = plan.input
+    if join.kind not in ("LEFT", "RIGHT", "FULL"):
+        return None
+    from repro.analysis.dataflow import analyze_plan, is_null_rejecting
+
+    left_width = len(join.left.schema)
+    input_facts = analyze_plan(join)
+    left_offsets = set(range(left_width))
+    right_offsets = set(range(left_width, len(join.schema)))
+    rejects_left_pad = join.kind in ("RIGHT", "FULL") and is_null_rejecting(
+        plan.predicate, input_facts, left_offsets
+    )
+    rejects_right_pad = join.kind in ("LEFT", "FULL") and is_null_rejecting(
+        plan.predicate, input_facts, right_offsets
+    )
+    if join.kind == "LEFT":
+        new_kind = "INNER" if rejects_right_pad else None
+    elif join.kind == "RIGHT":
+        new_kind = "INNER" if rejects_left_pad else None
+    else:  # FULL
+        if rejects_left_pad and rejects_right_pad:
+            new_kind = "INNER"
+        elif rejects_right_pad:
+            # Right-padded rows (left + NULLs) die: what survives is what a
+            # RIGHT join produces (matches + NULL-padded left side).
+            new_kind = "RIGHT"
+        elif rejects_left_pad:
+            new_kind = "LEFT"
+        else:
+            new_kind = None
+    if new_kind is None:
+        return None
+    stricter = plans.Join(
+        new_kind, join.left, join.right, join.condition, list(join.schema)
+    )
+    return plans.Filter(stricter, plan.predicate)
 
 
 def _merge_filters(plan: plans.LogicalPlan) -> Optional[plans.LogicalPlan]:

@@ -192,6 +192,14 @@ class Profiler:
         if metrics is None:  # operator never executed (planned but skipped)
             metrics = OperatorMetrics(plan.label())
         node = metrics.to_dict()
+        facts = getattr(plan, "facts", None)
+        if facts is not None:
+            # Static dataflow annotations (repro.analysis.dataflow), frozen
+            # next to the observed metrics so a profile carries both the
+            # predicted bounds and what actually happened.
+            from repro.analysis.dataflow import facts_summary
+
+            node["facts"] = facts_summary(facts)
         children = [self._freeze_tree(child) for child in plan.inputs()]
         if children:
             node["children"] = children

@@ -56,6 +56,13 @@ class BoundExpr:
 
     dtype: DataType
 
+    #: Source position of the AST node this expression was bound from
+    #: (``repro.sql.ast.Span`` or None).  Set by :meth:`ExprBinder.bind`
+    #: as an instance attribute; carried through rewrites by value so the
+    #: evaluator and the dataflow analyzer can point errors and
+    #: diagnostics at real source text.
+    span = None
+
     def children(self) -> Iterator["BoundExpr"]:
         return iter(())
 

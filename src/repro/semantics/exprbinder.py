@@ -149,7 +149,7 @@ class ExprBinder:
         if method is None:
             raise UnsupportedError(f"cannot bind {type(expr).__name__}")
         try:
-            return method(expr)
+            bound = method(expr)
         except BindError as exc:
             # Attach the offending node's source span: the innermost node
             # with a span wins, errors keep their position while unwinding.
@@ -157,6 +157,14 @@ class ExprBinder:
             if span is not None:
                 exc.attach_location(span.line, span.column)
             raise
+        # Thread the source span onto the bound node (innermost span wins:
+        # sub-binders that already stamped one keep it) so runtime errors
+        # and dataflow diagnostics can point at source text.
+        if bound.span is None:
+            span = ast.node_span(expr)
+            if span is not None:
+                bound.span = span
+        return bound
 
     # -- leaves -----------------------------------------------------------
 

@@ -667,7 +667,9 @@ class ExplainPlan(Statement):
 
     * ``LINT`` — prepend static-analysis diagnostics as ``lint:`` lines;
     * ``ANALYZE`` — actually execute the query and render the operator tree
-      annotated with observed row counts, call counts, and wall time.
+      annotated with observed row counts, call counts, and wall time;
+    * ``TYPES`` — annotate every operator with its inferred dataflow facts
+      (column types, nullability, constants, keys, cardinality bounds).
 
     ``query`` is the explained query; it is None when EXPLAIN wraps a
     DDL/DML statement instead, in which case ``target`` holds that
@@ -678,6 +680,7 @@ class ExplainPlan(Statement):
     query: Optional[Query]
     lint: bool = False
     analyze: bool = False
+    types: bool = False
     target: Optional[Statement] = None
 
 

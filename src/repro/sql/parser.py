@@ -187,6 +187,7 @@ class _Parser:
                 return ast.ExplainExpand(self._query())
             lint = False
             analyze = False
+            types = False
             # Bare ANALYZE keyword: EXPLAIN ANALYZE <query>.
             if (
                 self.current.type is TokenType.IDENT
@@ -194,13 +195,13 @@ class _Parser:
             ):
                 self.advance()
                 analyze = True
-            # EXPLAIN (LINT[, ANALYZE]) query — the lookahead distinguishes
-            # the option list from a parenthesized query: EXPLAIN (SELECT
-            # ...) stays a plain EXPLAIN.
+            # EXPLAIN (LINT[, ANALYZE][, TYPES]) query — the lookahead
+            # distinguishes the option list from a parenthesized query:
+            # EXPLAIN (SELECT ...) stays a plain EXPLAIN.
             elif (
                 self.at_operator("(")
                 and self.peek(1).type is TokenType.IDENT
-                and str(self.peek(1).value).upper() in ("LINT", "ANALYZE")
+                and str(self.peek(1).value).upper() in ("LINT", "ANALYZE", "TYPES")
             ):
                 self.advance()  # '('
                 while True:
@@ -209,10 +210,12 @@ class _Parser:
                         lint = True
                     elif option == "ANALYZE":
                         analyze = True
+                    elif option == "TYPES":
+                        types = True
                     else:
                         raise self.error(
                             f"unknown EXPLAIN option {option}; "
-                            "expected LINT or ANALYZE"
+                            "expected LINT, ANALYZE or TYPES"
                         )
                     if not self.accept_operator(","):
                         break
@@ -226,9 +229,11 @@ class _Parser:
                 # rule RP111) but refuses to execute.
                 target = self._statement()
                 return ast.ExplainPlan(
-                    None, lint=lint, analyze=analyze, target=target
+                    None, lint=lint, analyze=analyze, types=types, target=target
                 )
-            return ast.ExplainPlan(self._query(), lint=lint, analyze=analyze)
+            return ast.ExplainPlan(
+                self._query(), lint=lint, analyze=analyze, types=types
+            )
         if self._at_show_stats():
             return ast.QueryStatement(self._show_stats())
         if self.at_keyword("SELECT", "WITH", "VALUES") or self.at_operator("("):

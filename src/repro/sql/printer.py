@@ -418,13 +418,20 @@ class _Printer:
 
     def _render_ExplainPlan(self, node: ast.ExplainPlan) -> str:
         # Canonical option form: bare ANALYZE when it is the only option,
-        # parenthesized list otherwise (LINT always prints inside parens).
-        if node.lint and node.analyze:
-            option = "(LINT, ANALYZE) "
-        elif node.lint:
-            option = "(LINT) "
-        elif node.analyze:
+        # parenthesized list otherwise (LINT/TYPES always print in parens).
+        options = [
+            name
+            for name, enabled in (
+                ("LINT", node.lint),
+                ("ANALYZE", node.analyze),
+                ("TYPES", node.types),
+            )
+            if enabled
+        ]
+        if options == ["ANALYZE"]:
             option = "ANALYZE "
+        elif options:
+            option = "(" + ", ".join(options) + ") "
         else:
             option = ""
         inner = node.query if node.query is not None else node.target

@@ -91,6 +91,22 @@ NEGATIVE_FIXTURES = [
         "FROM repro_stat_statements GROUP BY fingerprint",
         "RP113",
     ),
+    ("paper_db", "SELECT prodName FROM Orders WHERE prodName = 5", "RP114"),
+    ("paper_db", "SELECT prodName FROM Orders WHERE revenue = NULL", "RP115"),
+    ("paper_db", "SELECT CAST('nope' AS DATE) FROM Orders", "RP116"),
+    (
+        "orders_db",
+        "SELECT orderDate, AGGREGATE(profitMargin AT (SET orderDate = 5)) "
+        "FROM EnhancedOrders GROUP BY orderDate",
+        "RP117",
+    ),
+    (
+        "paper_db",
+        "SELECT c.custAge, SUM(o.revenue) FROM Orders AS o "
+        "LEFT JOIN Customers AS c ON o.custName = c.custName "
+        "GROUP BY c.custAge",
+        "RP118",
+    ),
 ]
 
 

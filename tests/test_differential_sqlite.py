@@ -239,3 +239,67 @@ def test_differential_telemetry_on_off(rows, sql):
     assert tele.rows_returned_total.value() == len(plain)
     # Against the external oracle too, under telemetry.
     assert canonical(observed) == canonical(run_sqlite(rows, sql))
+
+
+# -- coercion and NULL-propagation edges --------------------------------------
+#
+# Targeted differential checks for the corners the dataflow analysis reasons
+# about statically: strict-operator NULL propagation, BETWEEN's non-strict
+# FALSE, three-valued IN, COALESCE/NULLIF, and aggregates over all-NULL input.
+# The generator above avoids these shapes, so they get their own exercises.
+
+NULL_EDGE_QUERIES = [
+    # Strict operators propagate NULL...
+    "SELECT k, v + NULL FROM t",
+    "SELECT k, NULL * w FROM t",
+    "SELECT k FROM t WHERE v = NULL",
+    "SELECT k FROM t WHERE NOT (v <> NULL)",
+    # ...but BETWEEN is not strict: 7 BETWEEN NULL AND 5 is FALSE, not NULL.
+    "SELECT k, w BETWEEN NULL AND 5 FROM t",
+    "SELECT k FROM t WHERE w BETWEEN NULL AND 5",
+    # Three-valued IN: v IN (1, NULL) is NULL (not FALSE) when v <> 1.
+    "SELECT k FROM t WHERE v IN (1, NULL)",
+    "SELECT k FROM t WHERE v NOT IN (1, NULL)",
+    # NULL-aware scalar functions.
+    "SELECT k, COALESCE(v, -99), NULLIF(w, 0) FROM t",
+    "SELECT k, COALESCE(NULL, NULL, v, w) FROM t",
+    # CASE: a NULL condition is not TRUE.
+    "SELECT k, CASE WHEN v > 0 THEN 'p' WHEN v <= 0 THEN 'n' ELSE '?' END FROM t",
+    # Aggregates ignore NULLs; SUM/MIN/MAX of no non-NULL input are NULL.
+    "SELECT g, SUM(v), MIN(v), MAX(v), COUNT(v), COUNT(*) FROM t GROUP BY g",
+    "SELECT SUM(v), AVG(w) FROM t WHERE v IS NULL",
+    # NULL = NULL is NULL, IS NOT DISTINCT FROM treats NULLs as equal.
+    "SELECT a.k, b.k FROM t AS a JOIN t AS b ON a.v IS b.v",
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, st.sampled_from(NULL_EDGE_QUERIES))
+def test_differential_null_propagation_edges(rows, sql):
+    repro_sql = sql.replace(" IS b.v", " IS NOT DISTINCT FROM b.v")
+    assert canonical(run_repro(rows, repro_sql)) == canonical(run_sqlite(rows, sql))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_differential_inferred_nullability_is_sound(rows):
+    """Dataflow soundness against the oracle's data: a column inferred
+    non-nullable never holds a NULL produced by either engine."""
+    from repro.analysis.dataflow import analyze_plan
+    from repro.semantics.binder import Binder
+    from repro.sql import parse_query
+
+    sql = "SELECT k, COALESCE(v, 0), v IS NULL, w + 1 FROM t WHERE k >= 0"
+    db = Database()
+    db.create_table_from_rows(
+        "t",
+        [("k", "INTEGER"), ("g", "VARCHAR"), ("v", "INTEGER"), ("w", "INTEGER")],
+        rows,
+    )
+    plan, _ = Binder(db.catalog).bind_query_top(parse_query(sql))
+    facts = analyze_plan(plan, db.catalog)
+    produced = db.execute(sql).rows
+    assert canonical(produced) == canonical(run_sqlite(rows, sql))
+    for offset, column in enumerate(facts.columns):
+        if not column.nullable:
+            assert all(row[offset] is not None for row in produced), column.name

@@ -84,6 +84,10 @@ EXPLAIN_FORMS = [
     "EXPLAIN (LINT, ANALYZE) SELECT x FROM t",
     "EXPLAIN (ANALYZE, LINT) SELECT x FROM t",
     "EXPLAIN EXPAND SELECT x FROM t",
+    "EXPLAIN (TYPES) SELECT x FROM t",
+    "EXPLAIN (LINT, TYPES) SELECT x FROM t",
+    "EXPLAIN (TYPES, ANALYZE) SELECT x FROM t",
+    "EXPLAIN (ANALYZE, LINT, TYPES) SELECT x FROM t",
     "EXPLAIN (SELECT x FROM t)",          # parenthesized query, not options
     "EXPLAIN ANALYZE (SELECT x FROM t)",
     "EXPLAIN ANALYZE DROP TABLE t",       # DDL target: parses, lints RP111
@@ -104,7 +108,7 @@ def test_explain_forms_round_trip(sql):
 @settings(max_examples=100, deadline=None)
 @given(
     st.lists(
-        st.sampled_from(["LINT", "ANALYZE", ",", "(", ")"]),
+        st.sampled_from(["LINT", "ANALYZE", "TYPES", ",", "(", ")"]),
         min_size=0,
         max_size=6,
     )

@@ -42,6 +42,9 @@ ROUND_TRIP_STATEMENTS = [
     "SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)",
     "SELECT DATE '2024-01-31', -x, NOT a FROM t",
     "EXPLAIN EXPAND SELECT AGGREGATE(m) FROM v GROUP BY a",
+    "EXPLAIN (TYPES) SELECT a FROM t",
+    "EXPLAIN (LINT, TYPES) SELECT a FROM t",
+    "EXPLAIN (ANALYZE, TYPES) SELECT a FROM t",
 ]
 
 
