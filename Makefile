@@ -1,12 +1,16 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test bench report snapshot compare shell serve server-smoke examples lint validate all
+.PHONY: test test-slow bench report snapshot compare shell tpch serve server-smoke examples lint validate all
 
 # The committed perf baseline the regression gate compares against.
 BASELINE ?= benchmarks/BENCH_2026-08-07.json
 
 test:
 	pytest tests/
+
+# The opt-in slow tier: TPC-H at SF >= 0.05 (excluded from `make test`).
+test-slow:
+	pytest tests/ -m slow
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -24,6 +28,10 @@ compare:
 
 shell:
 	python -m repro
+
+# Interactive shell over the generated TPC-H tables + measure layer.
+tpch:
+	python -m repro.workloads --tpch --summaries --sf 0.01
 
 serve:
 	python -m repro.server --listings

@@ -30,12 +30,17 @@ experiment in DESIGN.md's index, and exits non-zero on any mismatch.
         }, ...
       },
       "pytest_benchmark": { <--from file, verbatim "benchmarks" list> | null },
-      "server": { <benchmarks.bench_server.measure_server() dict> }
+      "server": { <benchmarks.bench_server.measure_server() dict> },
+      "tpch": { <benchmarks.bench_tpch.measure_tpch() dict at SF 0.01> }
     }
 
-The ``server`` key (added in the server PR) is ignored by ``--compare``,
-which gates on ``listings`` only, so old and new snapshots stay
-comparable.
+``--compare`` gates on the sections both snapshots share: ``listings``
+always, and ``tpch`` once both sides carry it (TPC-H entries are
+flattened to ``tpch:<query>:<cold|matview_hit|plan_cache_hot>`` labels).
+A section present in only one snapshot — e.g. an old baseline from
+before the ``tpch`` section existed — is reported and skipped, never a
+failure, so snapshots stay comparable across schema growth.  The
+``server`` key is never gated (it has its own harness).
 
 CI runs this after the benchmark job and uploads the file as an artifact, so
 the repo accumulates a comparable perf trajectory across commits.
@@ -180,6 +185,7 @@ def write_snapshot(
             embedded = json.load(handle).get("benchmarks")
 
     from benchmarks.bench_server import measure_server
+    from benchmarks.bench_tpch import SNAPSHOT_QUERY_NAMES, measure_tpch
 
     now = datetime.now(timezone.utc)
     payload = {
@@ -191,6 +197,9 @@ def write_snapshot(
         "listings": listings,
         "pytest_benchmark": embedded,
         "server": measure_server(),
+        "tpch": measure_tpch(
+            sf=0.01, repeats=repeats, queries=SNAPSHOT_QUERY_NAMES
+        ),
     }
     if out_path is None:
         out_path = f"BENCH_{now.date().isoformat()}.json"
@@ -245,38 +254,60 @@ def _load_snapshot(path: str) -> dict:
     return payload
 
 
-def compare_snapshots(
-    old_path: str,
-    new_path: str,
-    *,
-    threshold: float = COMPARE_THRESHOLD,
-    abs_floor_ms: float = COMPARE_ABS_FLOOR_MS,
-    out=None,
-) -> int:
-    """Diff two repro-bench-v1 snapshots per listing; the CI perf gate.
+#: The snapshot sections the regression gate knows how to flatten, in the
+#: order they are reported.  ``server`` is deliberately absent (it has its
+#: own harness and no per-entry wall_ms shape).
+GATED_SECTIONS = ("listings", "tpch")
 
-    A listing regresses when its wall time grows by more than
-    ``threshold`` (relative) AND more than ``abs_floor_ms`` (absolute) —
-    both conditions, so micro-listings cannot fail on scheduler noise.
-    Row-count changes and listings missing from the new snapshot always
-    fail.  Prints a markdown table and returns the exit code (0 clean,
-    1 regressions found).
+
+def _flatten_sections(payload: dict) -> dict[str, dict[str, dict]]:
+    """Flatten a snapshot into ``{section: {label: {wall_ms, rows}}}``.
+
+    Only sections actually present in the payload appear in the result, so
+    the gate can intersect old and new instead of assuming both carry every
+    section (old baselines predate ``tpch``).
     """
-    out = out or sys.stdout
-    old = _load_snapshot(old_path)
-    new = _load_snapshot(new_path)
-    old_listings = old.get("listings", {})
-    new_listings = new.get("listings", {})
+    sections: dict[str, dict[str, dict]] = {}
+    listings = payload.get("listings")
+    if isinstance(listings, dict):
+        sections["listings"] = {
+            name: {"wall_ms": entry["wall_ms"], "rows": entry.get("rows")}
+            for name, entry in listings.items()
+        }
+    tpch = payload.get("tpch")
+    if isinstance(tpch, dict):
+        flat: dict[str, dict] = {}
+        for name, entry in tpch.get("queries", {}).items():
+            for series in ("cold_ms", "matview_hit_ms", "plan_cache_hot_ms"):
+                if series in entry:
+                    flat[f"{name}:{series[: -len('_ms')]}"] = {
+                        "wall_ms": entry[series],
+                        "rows": entry.get("rows"),
+                    }
+        sections["tpch"] = flat
+    return sections
 
+
+def _compare_section(
+    section: str,
+    old_entries: dict[str, dict],
+    new_entries: dict[str, dict],
+    *,
+    threshold: float,
+    abs_floor_ms: float,
+    new_path: str,
+    out,
+) -> list[str]:
+    """Diff one flattened section; print its table, return failure lines."""
     rows: list[tuple[str, str, str, str, str]] = []
     failures: list[str] = []
-    for name in sorted(old_listings):
-        entry = old_listings[name]
-        candidate = new_listings.get(name)
+    for name in sorted(old_entries):
+        entry = old_entries[name]
+        candidate = new_entries.get(name)
         old_ms = float(entry["wall_ms"])
         if candidate is None:
             rows.append((name, f"{old_ms:.3f}", "-", "-", "REMOVED"))
-            failures.append(f"{name}: listing missing from {new_path}")
+            failures.append(f"{section}/{name}: entry missing from {new_path}")
             continue
         new_ms = float(candidate["wall_ms"])
         delta = new_ms - old_ms
@@ -285,13 +316,13 @@ def compare_snapshots(
         if candidate.get("rows") != entry.get("rows"):
             status = "ROWS CHANGED"
             failures.append(
-                f"{name}: result cardinality changed "
+                f"{section}/{name}: result cardinality changed "
                 f"({entry.get('rows')} -> {candidate.get('rows')})"
             )
         elif delta > abs_floor_ms and old_ms and delta > old_ms * threshold:
             status = "REGRESSION"
             failures.append(
-                f"{name}: {old_ms:.3f}ms -> {new_ms:.3f}ms ({pct_text})"
+                f"{section}/{name}: {old_ms:.3f}ms -> {new_ms:.3f}ms ({pct_text})"
             )
         elif -delta > abs_floor_ms and old_ms and -delta > old_ms * threshold:
             status = "improved"
@@ -300,9 +331,47 @@ def compare_snapshots(
         rows.append(
             (name, f"{old_ms:.3f}", f"{new_ms:.3f}", pct_text, status)
         )
-    for name in sorted(set(new_listings) - set(old_listings)):
-        new_ms = float(new_listings[name]["wall_ms"])
+    for name in sorted(set(new_entries) - set(old_entries)):
+        new_ms = float(new_entries[name]["wall_ms"])
         rows.append((name, "-", f"{new_ms:.3f}", "-", "added"))
+
+    print(f"## {section}", file=out)
+    print(file=out)
+    print(f"| {section} | old ms | new ms | delta | status |", file=out)
+    print("|---|---:|---:|---:|---|", file=out)
+    for name, old_ms, new_ms, pct_text, status in rows:
+        print(
+            f"| {name} | {old_ms} | {new_ms} | {pct_text} | {status} |",
+            file=out,
+        )
+    print(file=out)
+    return failures
+
+
+def compare_snapshots(
+    old_path: str,
+    new_path: str,
+    *,
+    threshold: float = COMPARE_THRESHOLD,
+    abs_floor_ms: float = COMPARE_ABS_FLOOR_MS,
+    out=None,
+) -> int:
+    """Diff two repro-bench-v1 snapshots; the CI perf gate.
+
+    Gates every section present in BOTH snapshots (``listings``, and
+    ``tpch`` once both sides carry it).  An entry regresses when its wall
+    time grows by more than ``threshold`` (relative) AND more than
+    ``abs_floor_ms`` (absolute) — both conditions, so micro-listings
+    cannot fail on scheduler noise.  Row-count changes and entries missing
+    from the new snapshot always fail.  A section present in only one
+    snapshot is reported and skipped — a baseline captured before a
+    section existed must stay usable as a gate, not crash or false-fail.
+    Prints markdown tables and returns the exit code (0 clean, 1
+    regressions found).
+    """
+    out = out or sys.stdout
+    old_sections = _flatten_sections(_load_snapshot(old_path))
+    new_sections = _flatten_sections(_load_snapshot(new_path))
 
     print(f"# Bench comparison: {old_path} -> {new_path}", file=out)
     print(file=out)
@@ -312,14 +381,32 @@ def compare_snapshots(
         file=out,
     )
     print(file=out)
-    print("| listing | old ms | new ms | delta | status |", file=out)
-    print("|---|---:|---:|---:|---|", file=out)
-    for name, old_ms, new_ms, pct_text, status in rows:
-        print(
-            f"| {name} | {old_ms} | {new_ms} | {pct_text} | {status} |",
-            file=out,
-        )
-    print(file=out)
+
+    failures: list[str] = []
+    for section in GATED_SECTIONS:
+        in_old = section in old_sections
+        in_new = section in new_sections
+        if in_old and in_new:
+            failures.extend(
+                _compare_section(
+                    section,
+                    old_sections[section],
+                    new_sections[section],
+                    threshold=threshold,
+                    abs_floor_ms=abs_floor_ms,
+                    new_path=new_path,
+                    out=out,
+                )
+            )
+        elif in_old or in_new:
+            where = new_path if in_new else old_path
+            print(
+                f"section {section!r} only in {where}: skipped "
+                "(not comparable)",
+                file=out,
+            )
+            print(file=out)
+
     if failures:
         print(f"{len(failures)} FAILURE(S):", file=out)
         for failure in failures:

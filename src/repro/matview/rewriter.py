@@ -111,7 +111,8 @@ def rewrite_query(
     if not candidates:
         return RewriteOutcome(query)
 
-    shape_reason = _unmatchable_shape(query)
+    measure_names = _source_measure_names(catalog, query.from_clause.name)
+    shape_reason = _unmatchable_shape(query, measure_names)
     reports: list[CandidateReport] = []
     if shape_reason is not None:
         for view in candidates:
@@ -132,7 +133,7 @@ def rewrite_query(
                 view.stats.stale_skips += 1
             continue
         try:
-            rewritten = _try_rewrite(view, query)
+            rewritten = _try_rewrite(view, query, measure_names)
         except _NoMatch as miss:
             reports.append(
                 CandidateReport(view.name, "rejected", miss.reason, miss.rule)
@@ -147,7 +148,34 @@ def rewrite_query(
     return RewriteOutcome(query, reports=reports)
 
 
-def _unmatchable_shape(select: ast.Select) -> Optional[str]:
+def _source_measure_names(catalog: "Catalog", source: str) -> frozenset:
+    """Lowercased names of the measure columns of the query's FROM view.
+
+    A bare reference to a measure column in a grouped query is the paper's
+    shorthand for ``AGGREGATE(m)`` (section 3.3), so the rewriter must
+    recognize it to match summaries the same way the expander does.  Views
+    with a rename list are skipped: the rename obscures which item defines
+    each measure (mirroring :func:`~repro.matview.definition._classify_measure`).
+    """
+    from repro.catalog.objects import View
+
+    obj = catalog.get(source)
+    if (
+        not isinstance(obj, View)
+        or not isinstance(obj.query, ast.Select)
+        or obj.column_names
+    ):
+        return frozenset()
+    return frozenset(
+        (item.alias or "").lower()
+        for item in obj.query.items
+        if item.is_measure and item.alias
+    )
+
+
+def _unmatchable_shape(
+    select: ast.Select, measure_names: frozenset = frozenset()
+) -> Optional[str]:
     """A reason this query can never be answered from a summary, or None."""
     if select.distinct:
         return "query uses SELECT DISTINCT"
@@ -178,7 +206,7 @@ def _unmatchable_shape(select: ast.Select) -> Optional[str]:
         # genuine aggregate calls count — a scalar call like UPPER(region)
         # keeps the query at row grain.
         for item in select.items:
-            if not _contains_aggregate(item.expr):
+            if not _contains_aggregate(item.expr, measure_names):
                 return "query is not an aggregate query"
     return None
 
@@ -194,11 +222,29 @@ def _is_aggregate_call(node: ast.Node) -> bool:
     )
 
 
-def _contains_aggregate(expr: ast.Expression) -> bool:
-    return any(_is_aggregate_call(node) for node in expr.walk())
+def _is_measure_ref(node: ast.Node, measure_names: frozenset) -> bool:
+    """True for a bare column reference to a measure of the source view
+    (implicit ``AGGREGATE`` at the query's grain, paper section 3.3)."""
+    return (
+        isinstance(node, ast.ColumnRef)
+        and node.parts[-1].lower() in measure_names
+    )
 
 
-def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
+def _contains_aggregate(
+    expr: ast.Expression, measure_names: frozenset = frozenset()
+) -> bool:
+    return any(
+        _is_aggregate_call(node) or _is_measure_ref(node, measure_names)
+        for node in expr.walk()
+    )
+
+
+def _try_rewrite(
+    view: MaterializedView,
+    select: ast.Select,
+    measure_names: frozenset = frozenset(),
+) -> ast.Select:
     """Rewrite ``select`` over ``view`` or raise :class:`_NoMatch`."""
     definition = view.definition
     dims_by_key = {d.key: d for d in definition.dimensions}
@@ -241,6 +287,26 @@ def _try_rewrite(view: MaterializedView, select: ast.Select) -> ast.Select:
         if not isinstance(node, ast.Expression):
             return None
         key = canonical(node)
+        if _is_measure_ref(node, measure_names) and key not in dims_by_key:
+            # A bare measure reference aggregates implicitly: match it as if
+            # the query had written AGGREGATE(m).  Never substituted as a
+            # plain column — a measure the summary does not store must fall
+            # through to normal expansion over the base view.
+            implicit = ast.FunctionCall("AGGREGATE", [copy.deepcopy(node)])
+            measure = measures_by_key.get(canonical(implicit))
+            if measure is None:
+                raise _NoMatch(
+                    f"measure {key} is not stored in the summary",
+                    "missing-aggregate",
+                )
+            if not measure.rolls_up and not exact:
+                raise _NoMatch(
+                    f"measure {measure.name} does not roll up "
+                    f"({measure.kind}); grouping must match the summary's "
+                    f"dimensions exactly",
+                    "non-distributive-aggregate",
+                )
+            return _rollup(measure, dim_ref)
         if isinstance(node, ast.FunctionCall):
             measure = measures_by_key.get(key)
             if measure is not None:

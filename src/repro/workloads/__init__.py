@@ -1,4 +1,5 @@
-"""Workloads: the paper's example tables and a synthetic star schema."""
+"""Workloads: the paper's example tables, a synthetic star schema, and the
+TPC-H-derived measure workload (``python -m repro.workloads --tpch``)."""
 
 from repro.workloads.generator import (
     WorkloadConfig,
@@ -12,14 +13,34 @@ from repro.workloads.paper_data import (
     load_paper_tables,
     paper_database,
 )
+from repro.workloads.tpch import (
+    TPCH_QUERIES,
+    TPCH_SUMMARIES,
+    TPCH_TABLES,
+    TpchConfig,
+    generate_tpch,
+    load_tpch,
+    tpch_database,
+    tpch_measure_database,
+    tpch_measures,
+)
 
 __all__ = [
     "CUSTOMERS",
     "ORDERS",
+    "TPCH_QUERIES",
+    "TPCH_SUMMARIES",
+    "TPCH_TABLES",
+    "TpchConfig",
     "WorkloadConfig",
     "generate_orders",
+    "generate_tpch",
     "load_paper_tables",
+    "load_tpch",
     "load_workload",
     "paper_database",
+    "tpch_database",
+    "tpch_measure_database",
+    "tpch_measures",
     "workload_database",
 ]

@@ -1,0 +1,117 @@
+"""Load a workload and drop into the interactive shell.
+
+Usage::
+
+    python -m repro.workloads --tpch [--sf 0.01] [--seed N] [--summaries]
+    python -m repro.workloads --tpch --tbl-dir data/sf1/   # dbgen .tbl files
+    python -m repro.workloads --star [--orders 10000]
+
+``--tpch`` loads the 8 generated TPC-H tables plus the measure layer
+(``tpch_sales_m``/``tpch_orders_m``: revenue, margin, avg_discount,
+order_count — see docs/WORKLOADS.md); ``--summaries`` also creates the
+canonical summary tables so drill-downs hit the matview rewriter.
+``--star`` loads the synthetic retail star schema instead.  Ends in the
+same REPL as ``python -m repro``, so ``\\d``, ``\\matviews``, EXPLAIN and
+friends all work.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.api import Database
+from repro.cli import Shell
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.workloads", description=__doc__.splitlines()[0]
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--tpch",
+        action="store_true",
+        help="load the TPC-H tables and measure layer (docs/WORKLOADS.md)",
+    )
+    group.add_argument(
+        "--star",
+        action="store_true",
+        help="load the synthetic retail star schema (Customers/Products/Orders)",
+    )
+    parser.add_argument(
+        "--sf",
+        type=float,
+        default=0.001,
+        help="TPC-H scale factor (default 0.001; presets 0.001/0.01/0.05/0.1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="generator seed override"
+    )
+    parser.add_argument(
+        "--summaries",
+        action="store_true",
+        help="also create the canonical TPC-H summary tables",
+    )
+    parser.add_argument(
+        "--tbl-dir",
+        default=None,
+        metavar="DIR",
+        help="load dbgen .tbl files from DIR instead of generating",
+    )
+    parser.add_argument(
+        "--orders", type=int, default=10_000, help="star-schema fact rows"
+    )
+    args = parser.parse_args(argv)
+
+    db = Database()
+    if args.star:
+        from repro.workloads.generator import WorkloadConfig, load_workload
+
+        config = (
+            WorkloadConfig(orders=args.orders)
+            if args.seed is None
+            else WorkloadConfig(orders=args.orders, seed=args.seed)
+        )
+        load_workload(db, config)
+        print(f"star schema loaded ({args.orders} orders)")
+    else:
+        # --tpch is the default workload when neither flag is given.
+        from repro.workloads.tpch import (
+            TPCH_SUMMARIES,
+            TpchConfig,
+            load_tbl_dir,
+            load_tpch,
+            tpch_measures,
+        )
+
+        if args.tbl_dir is not None:
+            counts = load_tbl_dir(db, args.tbl_dir)
+            source = f"from {args.tbl_dir}"
+        else:
+            config = (
+                TpchConfig(sf=args.sf)
+                if args.seed is None
+                else TpchConfig(sf=args.sf, seed=args.seed)
+            )
+            counts = load_tpch(db, config)
+            source = f"generated at SF {args.sf}"
+        tpch_measures(db, summaries=args.summaries)
+        loaded = ", ".join(f"{name} {n}" for name, n in counts.items())
+        print(f"TPC-H tables {source}: {loaded}")
+        print(
+            "measure views: tpch_sales_m (revenue, margin, avg_discount, "
+            "total_qty), tpch_orders_m (order_count, total_price)"
+        )
+        if args.summaries:
+            print("summary tables: " + ", ".join(TPCH_SUMMARIES))
+
+    shell = Shell(db)
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Property tests for the TPC-H measure layer (hypothesis).
+
+Two invariants the workload's summary machinery must never break:
+
+* **drill-down additivity** — summing a SUM-measure across any region
+  drill-down equals evaluating it at the grand total.  Tested with
+  binary-exact inputs (integer prices, discounts in sixteenths), so the
+  equality is exact ``==``, not approximate: any difference is a real
+  aggregation bug, not float noise;
+* **refresh coherence** — after an arbitrary interleaving of INSERTs and
+  REFRESHes, a database answering from summary tables returns exactly what
+  a summary-less twin computes cold.
+
+The tables here are lineitem-shaped but tiny and adversarial (hypothesis
+picks the values); the full-size generated workload is covered by
+tests/test_differential_tpch.py.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# price * (1 - k/16) = price * (16 - k) / 16: exact in binary for any
+# integer price in range, so SUMs commute with regrouping exactly.
+sale_strategy = st.tuples(
+    st.sampled_from(REGIONS),
+    st.integers(1992, 1998),          # orderYear
+    st.integers(0, 10_000),           # extendedprice (integer money)
+    st.integers(0, 8),                # discount in sixteenths
+    st.integers(1, 50),               # quantity
+)
+
+sales_strategy = st.lists(sale_strategy, min_size=1, max_size=30)
+
+SCHEMA = [
+    ("region", "VARCHAR"),
+    ("orderYear", "INTEGER"),
+    ("extendedprice", "INTEGER"),
+    ("sixteenths", "INTEGER"),
+    ("quantity", "INTEGER"),
+]
+
+MEASURE_VIEW = """
+    CREATE VIEW sales_m AS
+    SELECT region, orderYear,
+           SUM(extendedprice * (1 - sixteenths / 16.0)) AS MEASURE revenue,
+           SUM(quantity) AS MEASURE total_qty
+    FROM sales
+"""
+
+SUMMARY = """
+    CREATE MATERIALIZED VIEW rev_by_region_year AS
+    SELECT region, orderYear,
+           AGGREGATE(revenue) AS revenue,
+           AGGREGATE(total_qty) AS total_qty
+    FROM sales_m GROUP BY region, orderYear
+"""
+
+
+def build(rows, *, summaries: bool) -> Database:
+    db = Database()
+    db.create_table_from_rows("sales", SCHEMA, rows)
+    db.execute(MEASURE_VIEW)
+    if summaries:
+        db.execute(SUMMARY)
+    return db
+
+
+@settings(max_examples=60, deadline=None)
+@given(sales_strategy)
+def test_drilldown_additivity(rows):
+    """Sum of revenue over any drill-down == revenue at the grand total."""
+    db = build(rows, summaries=False)
+    total = db.execute("SELECT AGGREGATE(revenue) FROM sales_m").rows[0][0]
+    for dimension in ("region", "orderYear"):
+        parts = db.execute(
+            f"SELECT {dimension}, revenue FROM sales_m GROUP BY {dimension}"
+        ).rows
+        assert sum(part[1] for part in parts) == total
+    # The same invariant through AT (ALL): every group sees the grand total.
+    shares = db.execute(
+        "SELECT region, revenue AT (ALL region) FROM sales_m GROUP BY region"
+    ).rows
+    assert all(value == total for _, value in shares)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sales_strategy)
+def test_summary_rollup_equals_cold(rows):
+    """Roll-ups answered from the (region, year) summary are exactly the
+    cold answers — binary-exact inputs make re-summed partials exact too."""
+    cold = build(rows, summaries=False)
+    hot = build(rows, summaries=True)
+    for sql in (
+        "SELECT region, revenue FROM sales_m GROUP BY region ORDER BY region",
+        "SELECT orderYear, revenue, total_qty FROM sales_m GROUP BY orderYear ORDER BY orderYear",
+        "SELECT AGGREGATE(total_qty) FROM sales_m",
+    ):
+        assert hot.execute(sql).rows == cold.execute(sql).rows, sql
+    assert any(view["hits"] for view in hot.summary_stats().values())
+
+
+dml_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), sale_strategy),
+        st.tuples(st.just("refresh"), st.none()),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sales_strategy, dml_strategy)
+def test_matview_hit_equals_cold_after_interleaved_dml(rows, operations):
+    """Arbitrary INSERT/REFRESH interleavings never let the summary serve a
+    wrong answer: stale summaries are skipped, refreshed ones agree."""
+    hot = build(rows, summaries=True)
+    cold = build(rows, summaries=False)
+    for kind, sale in operations:
+        if kind == "insert":
+            region, year, price, sixteenths, qty = sale
+            dml = (
+                f"INSERT INTO sales VALUES "
+                f"('{region}', {year}, {price}, {sixteenths}, {qty})"
+            )
+            hot.execute(dml)
+            cold.execute(dml)
+        else:
+            hot.execute("REFRESH MATERIALIZED VIEW rev_by_region_year")
+    # A final refresh so the last interleaving suffix is also validated in
+    # the hit path (without it the summary may be stale => cold fallback,
+    # which is correct but tests nothing new).
+    hot.execute("REFRESH MATERIALIZED VIEW rev_by_region_year")
+    query = "SELECT region, revenue FROM sales_m GROUP BY region ORDER BY region"
+    assert hot.execute(query).rows == cold.execute(query).rows
+    assert any(view["hits"] for view in hot.summary_stats().values())

@@ -754,3 +754,103 @@ def test_committed_baseline_compares_clean_against_itself():
 
     baseline = "benchmarks/BENCH_2026-08-06.json"
     assert compare_snapshots(baseline, baseline, out=io.StringIO()) == 0
+
+
+def tpch_section(queries: dict) -> dict:
+    return {"sf": 0.01, "cardinalities": {"lineitem": 60175}, "queries": queries}
+
+
+def test_compare_section_only_in_new_is_skipped_not_failed(tmp_path):
+    """A baseline from before the tpch section existed must stay usable."""
+    from benchmarks.report import compare_snapshots
+
+    listings = {"e1": {"wall_ms": 1.0, "rows": 3}}
+    old = write_snapshot(tmp_path, "old.json", listings)
+    new_payload = snapshot_payload(listings)
+    new_payload["tpch"] = tpch_section(
+        {"revenue_by_region": {"rows": 5, "cold_ms": 100.0, "matview_hit_ms": 1.0}}
+    )
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(new_payload))
+    out = io.StringIO()
+    assert compare_snapshots(old, str(new), out=out) == 0
+    text = out.getvalue()
+    assert "only in" in text and "skipped" in text
+    assert "No regressions." in text
+
+
+def test_compare_section_only_in_old_is_skipped_not_failed(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    listings = {"e1": {"wall_ms": 1.0, "rows": 3}}
+    old_payload = snapshot_payload(listings)
+    old_payload["tpch"] = tpch_section(
+        {"revenue_by_region": {"rows": 5, "cold_ms": 100.0}}
+    )
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(old_payload))
+    new = write_snapshot(tmp_path, "new.json", listings)
+    out = io.StringIO()
+    assert compare_snapshots(str(old), new, out=out) == 0
+    assert "skipped" in out.getvalue()
+
+
+def test_compare_shared_listings_regression_still_caught_with_mixed_schema(tmp_path):
+    """The skipped-section rule must not mask regressions in shared sections."""
+    from benchmarks.report import compare_snapshots
+
+    old = write_snapshot(tmp_path, "old.json", {"e1": {"wall_ms": 5.0, "rows": 3}})
+    new_payload = snapshot_payload({"e1": {"wall_ms": 50.0, "rows": 3}})
+    new_payload["tpch"] = tpch_section(
+        {"revenue_by_region": {"rows": 5, "cold_ms": 100.0}}
+    )
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(new_payload))
+    out = io.StringIO()
+    assert compare_snapshots(old, str(new), out=out) == 1
+    assert "REGRESSION" in out.getvalue()
+
+
+def test_compare_gates_tpch_when_both_sides_have_it(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    listings = {"e1": {"wall_ms": 1.0, "rows": 3}}
+    old_payload = snapshot_payload(listings)
+    old_payload["tpch"] = tpch_section(
+        {"revenue_by_region": {"rows": 5, "cold_ms": 100.0, "matview_hit_ms": 1.0}}
+    )
+    new_payload = snapshot_payload(listings)
+    new_payload["tpch"] = tpch_section(
+        {"revenue_by_region": {"rows": 5, "cold_ms": 500.0, "matview_hit_ms": 1.0}}
+    )
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(old_payload))
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(new_payload))
+    out = io.StringIO()
+    assert compare_snapshots(str(old), str(new), out=out) == 1
+    text = out.getvalue()
+    assert "tpch/revenue_by_region:cold" in text
+    # The unregressed matview-hit series stays green.
+    assert "REGRESSION" in text
+
+
+def test_compare_tpch_rows_changed_fails(tmp_path):
+    from benchmarks.report import compare_snapshots
+
+    listings = {"e1": {"wall_ms": 1.0, "rows": 3}}
+    old_payload = snapshot_payload(listings)
+    old_payload["tpch"] = tpch_section(
+        {"orders_by_year": {"rows": 7, "cold_ms": 10.0}}
+    )
+    new_payload = snapshot_payload(listings)
+    new_payload["tpch"] = tpch_section(
+        {"orders_by_year": {"rows": 8, "cold_ms": 10.0}}
+    )
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(old_payload))
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(new_payload))
+    out = io.StringIO()
+    assert compare_snapshots(str(old), str(new), out=out) == 1
+    assert "ROWS CHANGED" in out.getvalue()
