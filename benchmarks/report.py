@@ -31,16 +31,23 @@ experiment in DESIGN.md's index, and exits non-zero on any mismatch.
       },
       "pytest_benchmark": { <--from file, verbatim "benchmarks" list> | null },
       "server": { <benchmarks.bench_server.measure_server() dict> },
-      "tpch": { <benchmarks.bench_tpch.measure_tpch() dict at SF 0.01> }
+      "tpch": { <benchmarks.bench_tpch.measure_tpch() dict at SF 0.01> },
+      "observability": { <benchmarks.bench_observability.measure_observability()> }
     }
 
 ``--compare`` gates on the sections both snapshots share: ``listings``
-always, and ``tpch`` once both sides carry it (TPC-H entries are
-flattened to ``tpch:<query>:<cold|matview_hit|plan_cache_hot>`` labels).
-A section present in only one snapshot — e.g. an old baseline from
-before the ``tpch`` section existed — is reported and skipped, never a
-failure, so snapshots stay comparable across schema growth.  The
-``server`` key is never gated (it has its own harness).
+always, ``tpch`` and ``observability`` once both sides carry them
+(TPC-H entries are flattened to
+``tpch:<query>:<cold|matview_hit|plan_cache_hot>`` labels, the
+observability pairs to ``<listing>:off`` / ``<listing>:on`` — so a PR
+that makes progress tracking cost something *when off* fails the gate
+like any other regression).  A section present in only one snapshot —
+e.g. an old baseline from before the ``tpch`` section existed — is
+reported and skipped, never a failure, so snapshots stay comparable
+across schema growth.  The ``server`` key is never gated (it has its
+own harness).  When ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions),
+``--compare`` also appends its markdown tables there, so the diff shows
+up on the workflow run page.
 
 CI runs this after the benchmark job and uploads the file as an artifact, so
 the repo accumulates a comparable perf trajectory across commits.
@@ -184,6 +191,7 @@ def write_snapshot(
         with open(pytest_json) as handle:
             embedded = json.load(handle).get("benchmarks")
 
+    from benchmarks.bench_observability import measure_observability
     from benchmarks.bench_server import measure_server
     from benchmarks.bench_tpch import SNAPSHOT_QUERY_NAMES, measure_tpch
 
@@ -200,6 +208,7 @@ def write_snapshot(
         "tpch": measure_tpch(
             sf=0.01, repeats=repeats, queries=SNAPSHOT_QUERY_NAMES
         ),
+        "observability": measure_observability(repeats=repeats),
     }
     if out_path is None:
         out_path = f"BENCH_{now.date().isoformat()}.json"
@@ -257,7 +266,7 @@ def _load_snapshot(path: str) -> dict:
 #: The snapshot sections the regression gate knows how to flatten, in the
 #: order they are reported.  ``server`` is deliberately absent (it has its
 #: own harness and no per-entry wall_ms shape).
-GATED_SECTIONS = ("listings", "tpch")
+GATED_SECTIONS = ("listings", "tpch", "observability")
 
 
 def _flatten_sections(payload: dict) -> dict[str, dict[str, dict]]:
@@ -285,6 +294,17 @@ def _flatten_sections(payload: dict) -> dict[str, dict[str, dict]]:
                         "rows": entry.get("rows"),
                     }
         sections["tpch"] = flat
+    observability = payload.get("observability")
+    if isinstance(observability, dict):
+        flat = {}
+        for name, entry in observability.get("queries", {}).items():
+            for series in ("off_ms", "on_ms"):
+                if series in entry:
+                    flat[f"{name}:{series[: -len('_ms')]}"] = {
+                        "wall_ms": entry[series],
+                        "rows": entry.get("rows"),
+                    }
+        sections["observability"] = flat
     return sections
 
 
@@ -348,6 +368,21 @@ def _compare_section(
     return failures
 
 
+class _Tee:
+    """Write-through stream fan-out (stdout + ``$GITHUB_STEP_SUMMARY``)."""
+
+    def __init__(self, *streams) -> None:
+        self._streams = streams
+
+    def write(self, text: str) -> None:
+        for stream in self._streams:
+            stream.write(text)
+
+    def flush(self) -> None:
+        for stream in self._streams:
+            stream.flush()
+
+
 def compare_snapshots(
     old_path: str,
     new_path: str,
@@ -359,7 +394,7 @@ def compare_snapshots(
     """Diff two repro-bench-v1 snapshots; the CI perf gate.
 
     Gates every section present in BOTH snapshots (``listings``, and
-    ``tpch`` once both sides carry it).  An entry regresses when its wall
+    ``tpch`` / ``observability`` once both sides carry them).  An entry regresses when its wall
     time grows by more than ``threshold`` (relative) AND more than
     ``abs_floor_ms`` (absolute) — both conditions, so micro-listings
     cannot fail on scheduler noise.  Row-count changes and entries missing
@@ -684,6 +719,19 @@ def cli(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.compare is not None:
+        import os
+
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            # GitHub Actions: the markdown tables double as the job summary.
+            with open(summary_path, "a") as handle:
+                return compare_snapshots(
+                    args.compare[0],
+                    args.compare[1],
+                    threshold=args.threshold,
+                    abs_floor_ms=args.abs_ms,
+                    out=_Tee(sys.stdout, handle),
+                )
         return compare_snapshots(
             args.compare[0],
             args.compare[1],

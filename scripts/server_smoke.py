@@ -9,17 +9,23 @@ only if:
 2. the shared plan cache reports hits (the listings were replayed from
    cache, not replanned per client),
 3. zero plan flips were recorded (concurrent replays kept stable plans),
-4. a cache-hit replay is faster than a cold plan, and
-5. the server shuts down cleanly with no sessions left open.
+4. a cache-hit replay is faster than a cold plan,
+5. the HTTP sidecar answers ``/healthz`` and a spec-shaped ``/metrics``
+   scrape, and ``repro_running_queries`` shows a progress row for a
+   query held in flight, and
+6. the server shuts down cleanly with no sessions left open.
 
 Run it as ``make server-smoke`` or ``python scripts/server_smoke.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import threading
+import time
+import urllib.request
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, _ROOT)  # the benchmarks package
@@ -53,9 +59,10 @@ def main() -> int:
 
     db = build_database(telemetry=True)
     failures: list[str] = []
-    with ServerThread(db) as server:
+    with ServerThread(db, http_port=0) as server:
         host, port = server.server.host, server.server.port
         print(f"server listening on {host}:{port}")
+        print(f"observability sidecar on http port {server.http_port}")
         results: list[dict] = [dict() for _ in range(CLIENTS)]
         errors: list = []
 
@@ -102,6 +109,8 @@ def main() -> int:
                 f"{latency}"
             )
 
+        failures.extend(check_observability(db, server, host, port))
+
         open_sessions = server.manager.sessions()
         if open_sessions:
             failures.append(
@@ -116,9 +125,78 @@ def main() -> int:
         return 1
     print(
         f"\nSMOKE OK: {CLIENTS} clients x {len(baseline)} listings "
-        "byte-identical, cache hot, zero flips, clean shutdown."
+        "byte-identical, cache hot, zero flips, sidecar scraped, "
+        "clean shutdown."
     )
     return 0
+
+
+def _http_get(host: str, port: int, path: str) -> str:
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=10
+    ) as response:
+        return response.read().decode("utf-8")
+
+
+def check_observability(db, server, host: str, port: int) -> list[str]:
+    """Scrape the HTTP sidecar and catch an in-flight query's progress."""
+    failures: list[str] = []
+    http_port = server.http_port
+
+    health = json.loads(_http_get(host, http_port, "/healthz"))
+    print(f"healthz: {health}")
+    if health.get("status") != "ok":
+        failures.append(f"/healthz not ok: {health}")
+
+    metrics = _http_get(host, http_port, "/metrics")
+    if "# TYPE queries_total counter" not in metrics:
+        failures.append("/metrics missing the queries_total counter")
+
+    # Hold a deliberately slow cross join in flight and assert the
+    # progress tables report it from a second session.
+    with connect(host, port) as runner, connect(host, port) as watcher:
+        runner.query("CREATE TABLE smoke_big (x INTEGER)")
+        values = ", ".join(f"({i})" for i in range(500))
+        runner.query(f"INSERT INTO smoke_big VALUES {values}")
+
+        def doomed() -> None:
+            try:
+                runner.query(
+                    "SELECT COUNT(*) FROM smoke_big AS a "
+                    "JOIN smoke_big AS b ON a.x >= 0 "
+                    "JOIN smoke_big AS c ON b.x >= 0"
+                )
+            except Exception:
+                pass  # cancelled below, by design
+
+        thread = threading.Thread(target=doomed)
+        thread.start()
+        progress_row = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and progress_row is None:
+            rows = watcher.query(
+                "SELECT query_id, rows_processed, current_operator "
+                "FROM repro_running_queries"
+            ).rows
+            for row in rows:
+                if row[1] and row[2]:
+                    progress_row = row
+            time.sleep(0.05)
+        sidecar_queries = json.loads(
+            _http_get(host, http_port, "/queries")
+        )["queries"]
+        runner.cancel()
+        thread.join(timeout=30)
+        if progress_row is None:
+            failures.append(
+                "repro_running_queries never showed the in-flight query"
+            )
+        else:
+            print(f"progress row: {progress_row}")
+        if not sidecar_queries:
+            failures.append("/queries did not report the in-flight query")
+        runner.query("DROP TABLE smoke_big")
+    return failures
 
 
 if __name__ == "__main__":

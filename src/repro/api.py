@@ -106,6 +106,22 @@ class Database:
         Capture SQL, duration, and the full QueryProfile of every statement
         at or over this wall-time threshold (:meth:`slow_queries`).  Setting
         it implies ``telemetry=True``.
+    memory_limit_bytes:
+        Per-query memory budget.  The executor accounts estimated bytes of
+        materialized state (operator outputs, hash-join build tables,
+        aggregation buffers) as it runs and raises
+        :class:`~repro.errors.ResourceExhausted` — a graceful, catchable
+        error naming the operator — instead of letting a runaway join OOM
+        the host.  Setting a limit implies progress tracking.
+    track_progress:
+        Maintain a live :class:`~repro.engine.progress.ProgressState` per
+        query (rows processed, current operator, bytes buffered,
+        estimated-vs-actual rows per operator), visible while the query
+        runs through the ``repro_running_queries`` / ``repro_query_progress``
+        system tables, :meth:`running_queries`, and the server's
+        ``/queries`` endpoint.  Default None means "on iff telemetry is
+        on"; pass False to force it off (the zero-overhead configuration)
+        or True to track without telemetry.
     """
 
     def __init__(
@@ -118,6 +134,8 @@ class Database:
         profile: bool = False,
         telemetry=False,
         slow_query_ms: Optional[float] = None,
+        memory_limit_bytes: Optional[int] = None,
+        track_progress: Optional[bool] = None,
     ):
         from repro.analysis.validator import validation_enabled
 
@@ -161,6 +179,18 @@ class Database:
         #: Bound plan of the most recent profiled query (telemetry hashes
         #: it for plan-flip detection; None when telemetry is off).
         self._last_plan = None
+        from repro.engine.progress import QueryRegistry
+
+        #: Per-query memory budget in bytes; None = unlimited.  Mutable:
+        #: the shell's \connect-ed admin can tighten it at runtime.
+        self.memory_limit_bytes = memory_limit_bytes
+        #: None = auto (track iff telemetry is on); see __init__ docs.
+        self._track_progress = track_progress
+        #: Directory of in-flight tracked queries; backs the
+        #: repro_running_queries / repro_query_progress system tables and
+        #: the server's /queries endpoint.  Always present (cheap), only
+        #: populated when tracking is enabled.
+        self.running = QueryRegistry()
         from repro.introspect import install_system_tables
 
         # The repro_* system tables always exist — with telemetry off they
@@ -287,6 +317,14 @@ class Database:
                 return result
             result = self._execute_statement(statement, params)
         except SqlError as exc:
+            from repro.errors import ResourceExhausted
+
+            if isinstance(exc, ResourceExhausted) and profiler is not None:
+                # The budget fired mid-execution; freeze what the profiler
+                # saw up to the failing operator into the slow-query log.
+                telemetry.record_resource_exhausted(
+                    exc, sql=sql, profiler=profiler
+                )
             telemetry.record_error(
                 exc, sql=sql, fingerprint=fingerprint, query_text=normalized
             )
@@ -418,22 +456,48 @@ class Database:
             from repro.analysis.validator import check_plan
 
             check_plan(plan, "binding")
-        if profiler is not None:
+        track_progress = (
+            not self._suppress_summaries and self.progress_enabled()
+        )
+        if profiler is not None or track_progress:
             # Dataflow facts ride on the plan nodes: the profiler folds
             # them into the operator tree (types/keys/cardinality bounds
-            # per node), and the cardinality bounds are the input for
-            # cost-based strategy selection (ROADMAP).
+            # per node), the progress tables report them as estimated
+            # rows next to the actuals, and the cardinality bounds are
+            # the input for cost-based strategy selection (ROADMAP).
             from repro.analysis.dataflow import analyze_plan
 
             analyze_plan(plan, self.catalog)
+        progress = None
+        if track_progress:
+            from repro.sql.printer import to_sql as _to_sql
+
+            try:
+                progress_sql = _to_sql(original_query)
+            except Exception:
+                progress_sql = ""
+            progress = self._start_progress(progress_sql, plan)
         ctx = ExecutionContext(
             self.catalog,
             enable_cache=self.cache_enabled,
             params=params,
             profiler=profiler,
+            progress=progress,
         )
         span = tracer.begin("execute", "phase") if tracer is not None else None
-        rows = execute_plan(plan, ctx)
+        if progress is None:
+            rows = execute_plan(plan, ctx)
+        else:
+            from repro.engine.progress import current_query_id
+
+            # current_query_id is how a query over the running-queries
+            # tables avoids observing itself in the registry snapshot.
+            query_token = current_query_id.set(progress.query_id)
+            try:
+                rows = execute_plan(plan, ctx)
+            finally:
+                current_query_id.reset(query_token)
+                self.running.finish(progress)
         if tracer is not None:
             tracer.end(span)
         self.last_stats = ctx
@@ -552,16 +616,32 @@ class Database:
         ``threading.Event``) aborts execution at the next operator
         boundary with :class:`~repro.errors.QueryCancelled`.
         """
+        progress = (
+            self._start_progress(planned.sql, planned.plan)
+            if self.progress_enabled()
+            else None
+        )
         ctx = ExecutionContext(
             self.catalog,
             enable_cache=self.cache_enabled,
             params=params,
             profiler=profiler,
             cancel_event=cancel_event,
+            progress=progress,
         )
         tracer = profiler.tracer if profiler is not None else None
         span = tracer.begin("execute", "phase") if tracer is not None else None
-        rows = execute_plan(planned.plan, ctx)
+        if progress is None:
+            rows = execute_plan(planned.plan, ctx)
+        else:
+            from repro.engine.progress import current_query_id
+
+            query_token = current_query_id.set(progress.query_id)
+            try:
+                rows = execute_plan(planned.plan, ctx)
+            finally:
+                current_query_id.reset(query_token)
+                self.running.finish(progress)
         if tracer is not None:
             tracer.end(span)
         profile = (
@@ -575,6 +655,44 @@ class Database:
             rowcount=len(rows),
         )
         return result, profile
+
+    # -- live progress --------------------------------------------------------
+
+    def progress_enabled(self) -> bool:
+        """Whether queries maintain live progress state.
+
+        A memory budget forces tracking on (accounting rides the same
+        state); otherwise the explicit ``track_progress`` flag wins, and
+        its None default follows telemetry — a telemetry-on Database is
+        already paying for a profiler per query, so the extra ticks are
+        noise, while a bare Database stays on the zero-overhead path.
+        """
+        if self.memory_limit_bytes is not None:
+            return True
+        if self._track_progress is None:
+            return self.telemetry is not None
+        return self._track_progress
+
+    def _start_progress(self, sql: str, plan):
+        """Register one tracked execution in the running-query registry."""
+        from repro.telemetry import current_session, current_traceparent
+
+        progress = self.running.start(
+            sql=sql,
+            session_id=current_session.get(),
+            traceparent=current_traceparent.get(),
+            memory_limit_bytes=self.memory_limit_bytes,
+        )
+        # Pre-register every operator with its dataflow cardinality
+        # bounds so estimated-vs-actual rows are observable immediately.
+        progress.attach_plan(plan)
+        return progress
+
+    def running_queries(self) -> list[dict]:
+        """Live progress of every in-flight tracked query, as dicts
+        (the JSON shape the server's ``/queries`` endpoint serves).
+        Empty when no query is running or tracking is off."""
+        return [state.as_dict() for state in self.running.snapshot()]
 
     # -- DDL / DML ----------------------------------------------------------
 

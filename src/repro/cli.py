@@ -20,6 +20,9 @@ Backslash meta-commands:
 ``\\flips``                 print detected plan flips
 ``\\events [N]``            print the last N telemetry events as JSON lines
 ``\\slowlog``               print the slow-query log
+``\\top [N]``               show running queries (N refreshes, default 1);
+                           reads ``repro_running_queries`` locally or over
+                           a ``\\connect`` session
 ``\\i FILE``                execute a SQL script file
 ``\\load TABLE FILE.csv``   create TABLE from a CSV file
 ``\\demo``                  load the paper's Customers/Orders tables
@@ -61,6 +64,8 @@ _HELP = """Meta commands:
   \\flips             detected plan flips (SELECT * FROM repro_plan_flips)
   \\events [N]        print the last N telemetry events (default 10)
   \\slowlog           print slow queries (Database(slow_query_ms=...))
+  \\top [N]           show running queries, N refreshes (default 1)
+                     (SELECT * FROM repro_running_queries in SQL)
   \\i FILE            run a SQL script
   \\load TABLE FILE   load a CSV file into a new table
   \\demo              load the paper's example tables
@@ -176,6 +181,8 @@ class Shell:
             self.show_events(argument)
         elif command == "\\slowlog":
             self.show_slowlog()
+        elif command == "\\top":
+            self.show_top(argument)
         elif command == "\\i":
             self.run_script_file(argument)
         elif command == "\\load":
@@ -326,6 +333,52 @@ class Shell:
                 f"  {entry['duration_ms']:10.3f} ms  "
                 f"{entry['sql'] or '(unknown sql)'}"
             )
+
+    _TOP_SQL = (
+        "SELECT query_id, elapsed_ms, rows_processed, current_operator, "
+        "memory_bytes, sql FROM repro_running_queries ORDER BY elapsed_ms DESC"
+    )
+
+    def show_top(self, argument: str) -> None:
+        """``\\top [N]``: print running queries, refreshed N times.
+
+        In remote mode the poll runs in the server session, so it reports
+        the server's in-flight queries (the interesting ones); locally it
+        reads this process's registry, where the poll itself is excluded.
+        """
+        refreshes = 1
+        if argument:
+            try:
+                refreshes = max(1, int(argument))
+            except ValueError:
+                self.write("usage: \\top [N]")
+                return
+        for iteration in range(refreshes):
+            if iteration:
+                time.sleep(0.5)
+            try:
+                if self.remote is not None:
+                    rows = [tuple(r) for r in self.remote.query(self._TOP_SQL)]
+                else:
+                    rows = self.db.query(self._TOP_SQL).rows
+            except Exception as exc:
+                self.write(f"error: {exc}")
+                return
+            if not rows:
+                self.write("(no running queries)")
+                continue
+            self.write(
+                f"  {'query':8s} {'elapsed ms':>10s} {'rows':>10s} "
+                f"{'memory':>10s}  operator / sql"
+            )
+            for qid, elapsed, rows_done, operator, memory, sql in rows:
+                self.write(
+                    f"  {str(qid):8s} {float(elapsed):10.1f} "
+                    f"{int(rows_done):10d} {int(memory):10d}  "
+                    f"{operator or '-'}"
+                )
+                if sql:
+                    self.write(f"    {str(sql)[:70]}")
 
     def describe(self, name: str) -> None:
         """Print one object's columns, row count, and measures."""

@@ -65,6 +65,7 @@ class ExecutionContext:
         params=(),
         profiler=None,
         cancel_event=None,
+        progress=None,
     ):
         self.catalog = catalog
         self.enable_cache = enable_cache
@@ -77,6 +78,12 @@ class ExecutionContext:
         #: :class:`~repro.errors.QueryCancelled` at the next operator
         #: boundary (the server's ``cancel`` op, see :mod:`repro.server`).
         self.cancel_event = cancel_event
+        #: Optional :class:`repro.engine.progress.ProgressState`: live
+        #: rows-processed / current-operator / memory accounting, updated
+        #: at operator boundaries and the 256-row checkpoints.  Same
+        #: zero-cost-when-off discipline as the profiler: None means one
+        #: attribute check per operator and per 256-row checkpoint.
+        self.progress = progress
         self.subquery_cache: dict = {}
         self.measure_cache: dict = {}
         self.source_rows_cache: dict = {}

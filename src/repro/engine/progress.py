@@ -1,0 +1,344 @@
+"""Live query progress: per-query state readable while the query runs.
+
+A :class:`ProgressState` is written by exactly one thread — the one
+executing the query — and read, without any lock, by any number of
+observers (the ``repro_running_queries`` / ``repro_query_progress``
+system tables, the HTTP sidecar's ``/queries``, the shell's ``\\top``).
+All mutations are plain attribute stores of immutable values (ints,
+strings), so under the GIL a reader always sees a value that *was* true
+at some point; no torn reads are possible.  The executor feeds it by
+piggybacking on the existing 256-row cancellation checkpoints, so with
+tracking off the hot loops pay one extra ``is None`` check per 256 rows
+and nothing else.
+
+The same object carries the per-query memory budget: materialization
+sites (operator output buffers, hash-join build tables, aggregate key
+buffers) account estimated bytes as they grow, and crossing
+``memory_limit_bytes`` raises :class:`~repro.errors.ResourceExhausted`
+mid-loop — a graceful, catchable error instead of an interpreter OOM.
+
+:class:`QueryRegistry` is the Database-wide directory of in-flight
+queries.  Registration takes a lock (queries start and finish rarely);
+reading a registered state never does.  ``current_query_id`` is how a
+query scanning the registry avoids observing itself: the Database sets
+it for the duration of a tracked execution, and the registry's snapshot
+excludes that id.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, List, Optional
+
+from repro.errors import ResourceExhausted
+
+__all__ = [
+    "OperatorProgress",
+    "ProgressState",
+    "QueryRegistry",
+    "current_query_id",
+]
+
+#: The query id of the tracked statement executing in this context, or ""
+#: outside one.  A ContextVar (not a thread-local) so it survives the
+#: server's ``asyncio.to_thread`` hop, like the telemetry session label.
+current_query_id: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_current_query", default=""
+)
+
+#: Byte estimate used for a row before the first real row is sampled.
+_DEFAULT_ROW_BYTES = 80
+
+#: Rows between two progress ticks; mirrors the executor's cancellation
+#: checkpoint mask (``not index & 0xFF``).
+TICK_ROWS = 256
+
+
+def _estimate_row_bytes(row: tuple) -> int:
+    """Cheap shallow byte estimate of one materialized row."""
+    try:
+        return sys.getsizeof(row) + sum(
+            sys.getsizeof(value) for value in row
+        )
+    except TypeError:  # pragma: no cover - exotic cell types
+        return _DEFAULT_ROW_BYTES
+
+
+class OperatorProgress:
+    """Live per-operator counters: estimated vs actual rows.
+
+    ``est_rows_min`` / ``est_rows_max`` come from the dataflow analyzer's
+    cardinality bounds (``plan.facts``); ``rows_out`` / ``calls`` are what
+    actually happened so far.  ``state`` walks pending -> running -> done.
+    """
+
+    __slots__ = (
+        "op_id",
+        "label",
+        "est_rows_min",
+        "est_rows_max",
+        "rows_out",
+        "calls",
+        "state",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        label: str,
+        est_rows_min: Optional[int] = None,
+        est_rows_max: Optional[int] = None,
+    ):
+        self.op_id = op_id
+        self.label = label
+        self.est_rows_min = est_rows_min
+        self.est_rows_max = est_rows_max
+        self.rows_out = 0
+        self.calls = 0
+        self.state = "pending"
+
+    def as_row(self, query_id: str) -> tuple:
+        return (
+            query_id,
+            self.op_id,
+            self.label,
+            self.est_rows_min,
+            self.est_rows_max,
+            self.rows_out,
+            self.calls,
+            self.state,
+        )
+
+
+class ProgressState:
+    """One running query's live counters; single writer, lock-free readers."""
+
+    __slots__ = (
+        "query_id",
+        "session_id",
+        "sql",
+        "traceparent",
+        "started",
+        "started_ns",
+        "rows_processed",
+        "current_operator",
+        "memory_bytes",
+        "memory_limit_bytes",
+        "finished",
+        "_operators",
+        "_row_bytes",
+        "_next_op",
+    )
+
+    def __init__(
+        self,
+        query_id: str,
+        *,
+        sql: str = "",
+        session_id: str = "",
+        traceparent: str = "",
+        memory_limit_bytes: Optional[int] = None,
+    ):
+        self.query_id = query_id
+        self.session_id = session_id
+        self.sql = sql
+        self.traceparent = traceparent
+        self.started = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        self.started_ns = time.perf_counter_ns()
+        self.rows_processed = 0
+        self.current_operator = ""
+        self.memory_bytes = 0
+        self.memory_limit_bytes = memory_limit_bytes
+        self.finished = False
+        #: id(plan node) -> OperatorProgress, insertion-ordered; readers
+        #: materialize ``list(values())`` which is atomic under the GIL.
+        self._operators: dict = {}
+        #: id(plan node) -> sampled bytes per output row.
+        self._row_bytes: dict = {}
+        self._next_op = itertools.count(1)
+
+    # -- writer side (the executing thread) ------------------------------
+
+    def attach_plan(self, plan: Any) -> None:
+        """Pre-register every operator of ``plan`` with its estimated
+        cardinality bounds, so estimated-vs-actual rows are visible from
+        the first tick (and for operators that never run at all)."""
+        for node in plan.walk():
+            self._entry(node)
+
+    def _entry(self, plan: Any) -> OperatorProgress:
+        key = id(plan)
+        entry = self._operators.get(key)
+        if entry is None:
+            facts = getattr(plan, "facts", None)
+            entry = OperatorProgress(
+                next(self._next_op),
+                plan.label(),
+                None if facts is None else facts.row_min,
+                None if facts is None else facts.row_max,
+            )
+            self._operators[key] = entry
+        return entry
+
+    def enter_operator(self, plan: Any) -> None:
+        entry = self._entry(plan)
+        entry.state = "running"
+        self.current_operator = entry.label
+
+    def exit_operator(self, plan: Any, rows: list) -> None:
+        """Operator finished: record actual rows and account its
+        materialized output buffer against the memory budget."""
+        entry = self._operators[id(plan)]
+        entry.calls += 1
+        entry.rows_out += len(rows)
+        entry.state = "done"
+        self.rows_processed += len(rows)
+        if rows:
+            per_row = self._row_bytes.get(id(plan))
+            if per_row is None:
+                per_row = _estimate_row_bytes(rows[0])
+                self._row_bytes[id(plan)] = per_row
+            self.memory_bytes += len(rows) * per_row
+            self._check_budget(entry.label)
+
+    def tick(self, plan: Any, buffered_rows: int = 0) -> None:
+        """A 256-row checkpoint inside an operator loop.
+
+        Advances the rows-processed counter, pins the current operator,
+        and — when a budget is set — projects the loop's growing buffer
+        against it, so a runaway join dies mid-flight instead of after
+        materializing its output.
+        """
+        entry = self._operators.get(id(plan))
+        if entry is None:
+            entry = self._entry(plan)
+        self.current_operator = entry.label
+        self.rows_processed += TICK_ROWS
+        if self.memory_limit_bytes is not None and buffered_rows:
+            per_row = self._row_bytes.get(id(plan), _DEFAULT_ROW_BYTES)
+            projected = self.memory_bytes + buffered_rows * per_row
+            if projected > self.memory_limit_bytes:
+                self._exhausted(entry.label, projected)
+
+    def account_bytes(self, plan: Any, nbytes: int) -> None:
+        """Explicitly account auxiliary state (hash tables, sort keys)."""
+        self.memory_bytes += nbytes
+        self._check_budget(self._entry(plan).label)
+
+    def _check_budget(self, label: str) -> None:
+        if (
+            self.memory_limit_bytes is not None
+            and self.memory_bytes > self.memory_limit_bytes
+        ):
+            self._exhausted(label, self.memory_bytes)
+
+    def _exhausted(self, label: str, observed: int) -> None:
+        raise ResourceExhausted(
+            f"query memory budget exhausted in {label}: "
+            f"~{observed} bytes buffered, limit "
+            f"{self.memory_limit_bytes} (query {self.query_id})"
+        )
+
+    # -- reader side (any thread) -----------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter_ns() - self.started_ns) / 1e6
+
+    def as_row(self) -> tuple:
+        """The ``repro_running_queries`` row for this query."""
+        return (
+            self.query_id,
+            self.session_id or None,
+            self.sql or None,
+            self.traceparent or None,
+            self.started,
+            round(self.elapsed_ms, 3),
+            self.rows_processed,
+            self.current_operator or None,
+            self.memory_bytes,
+            self.memory_limit_bytes,
+        )
+
+    def operator_rows(self) -> List[tuple]:
+        """The ``repro_query_progress`` rows, plan-registration order."""
+        return [
+            entry.as_row(self.query_id)
+            for entry in list(self._operators.values())
+        ]
+
+    def as_dict(self) -> dict:
+        """JSON shape served by the HTTP sidecar's ``/queries``."""
+        return {
+            "query_id": self.query_id,
+            "session_id": self.session_id or None,
+            "sql": self.sql or None,
+            "traceparent": self.traceparent or None,
+            "started": self.started,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "rows_processed": self.rows_processed,
+            "current_operator": self.current_operator or None,
+            "memory_bytes": self.memory_bytes,
+            "memory_limit_bytes": self.memory_limit_bytes,
+        }
+
+
+class QueryRegistry:
+    """Directory of in-flight tracked queries on one Database.
+
+    Registration and removal take a plain lock (statement granularity);
+    everything read *through* the registry is lock-free ProgressState.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queries: dict = {}
+        self._seq = itertools.count(1)
+        #: Lifetime count of tracked queries, exposed on /healthz.
+        self.started_total = 0
+
+    def start(
+        self,
+        *,
+        sql: str = "",
+        session_id: str = "",
+        traceparent: str = "",
+        memory_limit_bytes: Optional[int] = None,
+    ) -> ProgressState:
+        with self._lock:
+            state = ProgressState(
+                f"q{next(self._seq)}",
+                sql=sql,
+                session_id=session_id,
+                traceparent=traceparent,
+                memory_limit_bytes=memory_limit_bytes,
+            )
+            self._queries[state.query_id] = state
+            self.started_total += 1
+        return state
+
+    def finish(self, state: ProgressState) -> None:
+        state.finished = True
+        with self._lock:
+            self._queries.pop(state.query_id, None)
+
+    def snapshot(self, exclude: str = "") -> List[ProgressState]:
+        """The currently running queries, oldest first.
+
+        ``exclude`` drops one query id — the caller's own, so a query
+        over ``repro_running_queries`` never observes itself.
+        """
+        with self._lock:
+            states = list(self._queries.values())
+        return [s for s in states if s.query_id != exclude]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queries)

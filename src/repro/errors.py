@@ -107,6 +107,17 @@ class QueryCancelled(ExecutionError):
     never mid-row — and the session stays usable afterwards."""
 
 
+class ResourceExhausted(ExecutionError):
+    """Raised when a query exceeds its memory budget
+    (``Database(memory_limit_bytes=...)``).
+
+    The executor's materialization sites account estimated bytes as
+    buffers grow and raise this *before* the interpreter OOMs; as an
+    :class:`ExecutionError` it carries a source span when one is known,
+    the failing operator is named in the message, and the session that
+    ran the query stays usable — exactly like a cancellation."""
+
+
 class MeasureError(BindError):
     """Raised for invalid measure definitions or uses: recursive measures,
     ``AT`` applied to a non-measure, ``CURRENT`` outside a ``SET`` modifier,

@@ -1,6 +1,6 @@
 """The ``repro_*`` system tables: schemas and providers.
 
-:func:`install_system_tables` registers seven read-only virtual tables in
+:func:`install_system_tables` registers nine read-only virtual tables in
 a Database's catalog.  Each is a :class:`~repro.catalog.objects.SystemTable`
 whose provider closes over the Database and computes rows on demand — no
 storage, no refresh, always current.  They bind and scan like ordinary
@@ -37,6 +37,8 @@ SYSTEM_TABLE_NAMES = (
     "repro_slow_queries",
     "repro_matviews",
     "repro_tables",
+    "repro_running_queries",
+    "repro_query_progress",
 )
 
 
@@ -156,8 +158,30 @@ def install_system_tables(db: "Database") -> None:
             )
         return sorted(rows, key=lambda r: r[0].lower())
 
+    def running_group() -> dict[str, list[tuple]]:
+        """Both live-progress tables from ONE registry snapshot.
+
+        A join of repro_running_queries against repro_query_progress sees
+        one consistent set of queries: a query finishing between the two
+        scans can never leave operator rows without their parent row.
+        The observer's own query id (current_query_id, set by the
+        Database around every tracked execution) is excluded, so a query
+        polling the registry never observes itself.
+        """
+        from repro.engine.progress import current_query_id
+
+        states = db.running.snapshot(exclude=current_query_id.get())
+        progress_rows: list[tuple] = []
+        for state in states:
+            progress_rows.extend(state.operator_rows())
+        return {
+            "repro_running_queries": [s.as_row() for s in states],
+            "repro_query_progress": progress_rows,
+        }
+
     register = db.catalog.register_system_table
     db.catalog.register_snapshot_group("statements", statements_group)
+    db.catalog.register_snapshot_group("running", running_group)
     register(
         SystemTable(
             "repro_stat_statements",
@@ -268,5 +292,43 @@ def install_system_tables(db: "Database") -> None:
             ),
             tables,
             comment="every catalog object, system tables included",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_running_queries",
+            _schema(
+                ("query_id", VARCHAR),
+                ("session_id", VARCHAR),
+                ("sql", VARCHAR),
+                ("traceparent", VARCHAR),
+                ("started", VARCHAR),
+                ("elapsed_ms", DOUBLE),
+                ("rows_processed", INTEGER),
+                ("current_operator", VARCHAR),
+                ("memory_bytes", INTEGER),
+                ("memory_limit_bytes", INTEGER),
+            ),
+            lambda: running_group()["repro_running_queries"],
+            comment="queries executing right now (the observer is excluded)",
+            group="running",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_query_progress",
+            _schema(
+                ("query_id", VARCHAR),
+                ("op_id", INTEGER),
+                ("operator", VARCHAR),
+                ("est_rows_min", INTEGER),
+                ("est_rows_max", INTEGER),
+                ("rows_out", INTEGER),
+                ("calls", INTEGER),
+                ("state", VARCHAR),
+            ),
+            lambda: running_group()["repro_query_progress"],
+            comment="per-operator estimated-vs-actual rows for running queries",
+            group="running",
         )
     )

@@ -12,12 +12,15 @@ Layers, bottom up:
 * :mod:`repro.server.protocol` — the newline-delimited JSON wire format.
 * :mod:`repro.server.server` — the asyncio :class:`QueryServer` and the
   background-thread :class:`ServerThread` harness.
+* :mod:`repro.server.http` — the :class:`ObservabilityServer` sidecar
+  serving ``/metrics``, ``/healthz`` and ``/queries`` over HTTP.
 * :mod:`repro.server.client` — the thin blocking :class:`Connection`.
 
 See docs/SERVER.md for the protocol spec and semantics.
 """
 
 from repro.server.client import ClientError, ClientResult, Connection, connect
+from repro.server.http import ObservabilityServer
 from repro.server.plancache import PlanCache
 from repro.server.server import QueryServer, ServerThread
 from repro.server.session import Session, SessionManager
@@ -27,6 +30,7 @@ __all__ = [
     "ClientResult",
     "Connection",
     "connect",
+    "ObservabilityServer",
     "PlanCache",
     "QueryServer",
     "ServerThread",

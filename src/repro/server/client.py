@@ -63,7 +63,17 @@ class ClientResult:
 class Connection:
     """One session against a running query server."""
 
-    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+        traceparent: Optional[str] = None,
+    ):
+        #: W3C Trace Context header attached to every query/execute sent
+        #: on this connection (per-call traceparent arguments override it).
+        self.traceparent = traceparent
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
         self._write_lock = threading.Lock()
@@ -84,23 +94,40 @@ class Connection:
 
     # -- public operations -------------------------------------------------
 
-    def query(self, sql: str, params: Sequence[Any] = ()) -> ClientResult:
+    def query(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        traceparent: Optional[str] = None,
+    ) -> ClientResult:
         """Run one SQL statement; returns its result."""
-        payload = self._roundtrip(
-            {"op": "query", "sql": sql, "params": list(params)}
-        )
-        return ClientResult(payload)
+        request = {"op": "query", "sql": sql, "params": list(params)}
+        self._attach_traceparent(request, traceparent)
+        return ClientResult(self._roundtrip(request))
 
     def prepare(self, sql: str) -> str:
         """Prepare a statement server-side; returns its handle."""
         return self._roundtrip({"op": "prepare", "sql": sql})["handle"]
 
-    def execute(self, handle: str, params: Sequence[Any] = ()) -> ClientResult:
+    def execute(
+        self,
+        handle: str,
+        params: Sequence[Any] = (),
+        *,
+        traceparent: Optional[str] = None,
+    ) -> ClientResult:
         """Run a prepared statement with bound parameters."""
-        payload = self._roundtrip(
-            {"op": "execute", "handle": handle, "params": list(params)}
-        )
-        return ClientResult(payload)
+        request = {"op": "execute", "handle": handle, "params": list(params)}
+        self._attach_traceparent(request, traceparent)
+        return ClientResult(self._roundtrip(request))
+
+    def _attach_traceparent(
+        self, request: dict, traceparent: Optional[str]
+    ) -> None:
+        value = traceparent if traceparent is not None else self.traceparent
+        if value:
+            request["traceparent"] = value
 
     def cancel(self, *, wait: bool = False) -> None:
         """Abort the in-flight statement.

@@ -1,0 +1,153 @@
+"""The observability sidecar: a tiny stdlib HTTP server.
+
+:class:`ObservabilityServer` exposes three read-only endpoints next to
+the query server's JSON-lines TCP port:
+
+``GET /metrics``
+    The telemetry registry in the Prometheus text exposition format
+    (``text/plain; version=0.0.4``) — exactly
+    :meth:`~repro.api.Database.metrics_text`.  Empty body when the
+    served Database has telemetry off.
+``GET /healthz``
+    A small JSON liveness document: ``{"status": "ok", "sessions": N,
+    "running": M}`` where ``sessions`` counts open server sessions and
+    ``running`` counts queries currently executing.
+``GET /queries``
+    The live-progress registry as JSON — one object per in-flight query
+    with rows processed, current operator, memory accounting, and the
+    per-operator estimated-vs-actual breakdown.  The HTTP shape of the
+    ``repro_running_queries`` / ``repro_query_progress`` system tables.
+
+Every handler reads lock-free snapshots (the progress registry is
+single-writer per query, the metrics registry locks internally), so a
+scrape never blocks a statement and a statement never blocks a scrape.
+The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes
+overlap, and an abandoned sidecar cannot keep the process alive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+__all__ = ["ObservabilityServer", "PROMETHEUS_CONTENT_TYPE"]
+
+#: The content type Prometheus expects from a text-format scrape.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObservabilityServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/queries`` for one Database.
+
+    Started by :class:`~repro.server.server.QueryServer` when
+    ``http_port`` is given; usable standalone around a bare Database
+    (``manager`` may be None, in which case ``sessions`` reports 0).
+    """
+
+    def __init__(
+        self,
+        db,
+        manager=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.db = db
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def metrics_body(self) -> str:
+        return self.db.metrics_text()
+
+    def healthz_body(self) -> dict:
+        sessions = 0 if self.manager is None else len(self.manager.sessions())
+        return {
+            "status": "ok",
+            "sessions": sessions,
+            "running": len(self.db.running),
+        }
+
+    def queries_body(self) -> dict:
+        return {"queries": self.db.running_queries()}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread; resolves ``port`` 0."""
+        sidecar = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # One scrape per log line is noise, not observability.
+            def log_message(self, *args) -> None:  # pragma: no cover
+                pass
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = sidecar.metrics_body().encode("utf-8")
+                        ctype = PROMETHEUS_CONTENT_TYPE
+                    elif path == "/healthz":
+                        body = _json_bytes(sidecar.healthz_body())
+                        ctype = "application/json"
+                    elif path == "/queries":
+                        body = _json_bytes(sidecar.queries_body())
+                        ctype = "application/json"
+                    else:
+                        body = _json_bytes({"error": f"no such path {path}"})
+                        self.send_response(404)
+                        self.send_header("Content-Type", "application/json")
+                        self.send_header("Content-Length", str(len(body)))
+                        self.end_headers()
+                        self.wfile.write(body)
+                        return
+                except Exception as exc:  # a broken provider answers 500
+                    body = _json_bytes({"error": str(exc)})
+                    self.send_response(500)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observability",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _json_bytes(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True, default=str).encode("utf-8")

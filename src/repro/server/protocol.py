@@ -9,6 +9,14 @@ One request per line, one response per line, matched by the client-chosen
     Parse (and plan) a statement; responds with ``{"handle": "s1_p1"}``.
 ``{"op": "execute", "id": 3, "handle": "s1_p1", "params": [...]}``
     Run a prepared statement with bound parameters.
+
+``query`` and ``execute`` accept an optional ``"traceparent"`` field
+carrying a W3C Trace Context header value
+(``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>``).  The server
+scopes the statement to that distributed trace: captured spans adopt the
+caller's trace id and telemetry events carry the header.  Malformed
+values are ignored, and servers predating the field ignore it entirely —
+the addition is backward compatible, so the protocol version stays 1.
 ``{"op": "cancel",  "id": 4}``
     Abort the session's in-flight statement, if any.  Handled out of
     band — it does not queue behind the statement it is cancelling.

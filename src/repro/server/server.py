@@ -22,6 +22,7 @@ serves a fresh telemetry-enabled Database from the command line.
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
 from typing import Optional
 
@@ -49,6 +50,7 @@ class QueryServer:
         port: int = 0,
         plan_cache_capacity: int = 128,
         manager: Optional[SessionManager] = None,
+        http_port: Optional[int] = None,
     ):
         self.db = db
         self.host = host
@@ -57,6 +59,10 @@ class QueryServer:
             db, plan_cache_capacity=plan_cache_capacity
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Observability sidecar port: None disables it, 0 picks a free
+        #: port (resolved on start(), like ``port``).
+        self.http_port = http_port
+        self._http = None
 
     async def start(self) -> "QueryServer":
         """Bind and start accepting connections; resolves ``port`` 0."""
@@ -67,6 +73,14 @@ class QueryServer:
             limit=MAX_LINE_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.http_port is not None:
+            from repro.server.http import ObservabilityServer
+
+            self._http = ObservabilityServer(
+                self.db, self.manager, host=self.host, port=self.http_port
+            )
+            self._http.start()
+            self.http_port = self._http.port
         return self
 
     async def serve_forever(self) -> None:
@@ -76,6 +90,9 @@ class QueryServer:
 
     async def stop(self) -> None:
         """Stop accepting connections and close every session."""
+        if self._http is not None:
+            self._http.stop()
+            self._http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -175,11 +192,17 @@ class QueryServer:
         op = msg.get("op")
         op_id = msg.get("id")
         try:
+            traceparent = msg.get("traceparent")
+            if traceparent is not None:
+                traceparent = str(traceparent)
             if op == "query":
                 result = await asyncio.to_thread(
-                    session.execute,
-                    str(msg.get("sql", "")),
-                    tuple(msg.get("params") or ()),
+                    functools.partial(
+                        session.execute,
+                        str(msg.get("sql", "")),
+                        tuple(msg.get("params") or ()),
+                        traceparent=traceparent,
+                    )
                 )
                 payload = encode_result(result)
             elif op == "prepare":
@@ -189,9 +212,12 @@ class QueryServer:
                 payload = {"handle": handle}
             elif op == "execute":
                 result = await asyncio.to_thread(
-                    session.execute_prepared,
-                    str(msg.get("handle", "")),
-                    tuple(msg.get("params") or ()),
+                    functools.partial(
+                        session.execute_prepared,
+                        str(msg.get("handle", "")),
+                        tuple(msg.get("params") or ()),
+                        traceparent=traceparent,
+                    )
                 )
                 payload = encode_result(result)
             elif op == "close":
@@ -231,11 +257,13 @@ class ServerThread:
         host: str = "127.0.0.1",
         port: int = 0,
         plan_cache_capacity: int = 128,
+        http_port: Optional[int] = None,
     ):
         self._db = db
         self._host = host
         self._port = port
         self._capacity = plan_cache_capacity
+        self._http_port = http_port
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
@@ -262,6 +290,7 @@ class ServerThread:
             host=self._host,
             port=self._port,
             plan_cache_capacity=self._capacity,
+            http_port=self._http_port,
         )
         try:
             loop.run_until_complete(self.server.start())
@@ -293,6 +322,11 @@ class ServerThread:
     @property
     def manager(self) -> Optional[SessionManager]:
         return None if self.server is None else self.server.manager
+
+    @property
+    def http_port(self) -> Optional[int]:
+        """The observability sidecar's bound port (None when disabled)."""
+        return None if self.server is None else self.server.http_port
 
     def __enter__(self) -> "ServerThread":
         self.start()
@@ -327,6 +361,14 @@ def main(argv=None) -> None:
         action="store_true",
         help="preload the paper's Customers/Orders tables and setup views",
     )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /queries over HTTP on this "
+        "port (0 picks a free port; omitted disables the sidecar)",
+    )
     args = parser.parse_args(argv)
 
     db = Database(telemetry=True)
@@ -344,8 +386,14 @@ def main(argv=None) -> None:
             host=args.host,
             port=args.port,
             plan_cache_capacity=args.plan_cache,
+            http_port=args.http_port,
         ).start()
         print(f"repro server listening on {server.host}:{server.port}")
+        if server.http_port is not None:
+            print(
+                f"observability endpoints on "
+                f"http://{server.host}:{server.http_port}/metrics"
+            )
         try:
             await server.serve_forever()
         finally:

@@ -82,9 +82,20 @@ class Session:
 
     # -- statement entry points ------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Parse and run one statement in this session."""
-        with self._statement_scope(sql):
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        traceparent: Optional[str] = None,
+    ) -> Result:
+        """Parse and run one statement in this session.
+
+        ``traceparent`` (a W3C Trace Context header value) scopes the
+        statement to the caller's distributed trace: captured spans adopt
+        its trace id and the telemetry events carry it.
+        """
+        with self._statement_scope(sql, traceparent):
             statement = self._parse(sql)
             return self._run(statement, sql, params)
 
@@ -108,14 +119,18 @@ class Session:
             return handle
 
     def execute_prepared(
-        self, handle: str, params: Sequence[Any] = ()
+        self,
+        handle: str,
+        params: Sequence[Any] = (),
+        *,
+        traceparent: Optional[str] = None,
     ) -> Result:
         """Run a prepared statement, binding ``params`` to its ``?``s."""
         try:
             sql, statement = self._prepared[handle]
         except KeyError:
             raise SqlError(f"unknown prepared statement {handle!r}") from None
-        with self._statement_scope(sql):
+        with self._statement_scope(sql, traceparent):
             return self._run(statement, sql, params)
 
     def deallocate(self, handle: str) -> None:
@@ -145,22 +160,24 @@ class Session:
     # -- internals --------------------------------------------------------
 
     @contextmanager
-    def _statement_scope(self, sql: str):
+    def _statement_scope(self, sql: str, traceparent: Optional[str] = None):
         """Per-statement bookkeeping: liveness check, cancel-flag reset,
-        and the telemetry session label (a ContextVar, so it follows this
-        statement across threads)."""
+        and the telemetry session label and trace context (ContextVars,
+        so they follow this statement across threads)."""
         if self.closed:
             raise SqlError(f"session {self.id} is closed")
         self.statements += 1
         # A cancel targets the in-flight statement; one arriving between
         # statements is deliberately dropped here.
         self.cancel_event.clear()
-        from repro.telemetry import current_session
+        from repro.telemetry import current_session, current_traceparent
 
         token = current_session.set(self.id)
+        trace_token = current_traceparent.set(traceparent or "")
         try:
             yield
         finally:
+            current_traceparent.reset(trace_token)
             current_session.reset(token)
 
     def _parse(self, sql: str) -> ast.Statement:
@@ -221,6 +238,16 @@ class Session:
                 )
             except SqlError as exc:
                 if telemetry is not None:
+                    from repro.errors import ResourceExhausted
+
+                    if isinstance(exc, ResourceExhausted):
+                        # Freeze the partial profile into the slow-query
+                        # log before the statement unwinds: a budget
+                        # breach is precisely when the operator breakdown
+                        # matters and the query will never finish it.
+                        telemetry.record_resource_exhausted(
+                            exc, sql=key, profiler=profiler
+                        )
                     fp = norm = None
                     if planned is not None:
                         fp, norm = planned.fingerprint, planned.normalized

@@ -45,6 +45,8 @@ __all__ = [
     "DEFAULT_DURATION_BUCKETS_MS",
     "statement_kind",
     "current_session",
+    "current_traceparent",
+    "parse_traceparent",
 ]
 
 _CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
@@ -57,6 +59,41 @@ _CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
 current_session: contextvars.ContextVar[str] = contextvars.ContextVar(
     "repro_current_session", default=""
 )
+
+#: The W3C ``traceparent`` propagated with the current statement, or ""
+#: when the caller sent none.  Set by the session layer from the wire
+#: protocol's optional ``traceparent`` field; read at capture time so the
+#: exported trace joins the caller's distributed trace instead of minting
+#: a fresh id.  Same ContextVar rationale as ``current_session``.
+current_traceparent: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_current_traceparent", default=""
+)
+
+#: ``version-trace_id-parent_span_id-flags`` per the W3C Trace Context
+#: recommendation; all-zero trace/span ids are invalid per spec.
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def parse_traceparent(value: Optional[str]):
+    """Parse a W3C ``traceparent`` header value.
+
+    Returns ``(trace_id, parent_span_id, flags)`` or None when the value
+    is missing or malformed (invalid values are ignored, per spec, rather
+    than rejected — a bad header must never fail the statement).
+    """
+    if not value or not isinstance(value, str):
+        return None
+    match = _TRACEPARENT.match(value.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return (trace_id, span_id, match.group("flags"))
 
 
 def statement_kind(statement: Any) -> str:
@@ -268,6 +305,7 @@ class Telemetry:
         detector quiet for cached executions.
         """
         session = current_session.get()
+        traceparent = current_traceparent.get()
         if session:
             self.session_statements_total.inc(session=session)
         if introspection:
@@ -331,13 +369,18 @@ class Telemetry:
         }
         if session:
             event["session"] = session
+        if traceparent:
+            event["traceparent"] = traceparent
         if report_dicts:
             event["summary"] = report_dicts
         if profile.spans_dropped:
             event["spans_dropped"] = profile.spans_dropped
         self.events.record("query", **event)
         self.traces.capture(
-            profile.root_span, sql=sql, spans_dropped=profile.spans_dropped
+            profile.root_span,
+            sql=sql,
+            spans_dropped=profile.spans_dropped,
+            traceparent=traceparent or None,
         )
         if (
             self.slow_log is not None
@@ -345,12 +388,16 @@ class Telemetry:
         ):
             self.slow_queries_total.inc()
             self.slow_log.add(sql, round(duration_ms, 3), profile.to_dict())
-            self.events.record(
-                "slow_query",
-                sql=sql,
-                duration_ms=round(duration_ms, 3),
-                threshold_ms=self.slow_log.threshold_ms,
-            )
+            slow_event: Dict[str, Any] = {
+                "sql": sql,
+                "duration_ms": round(duration_ms, 3),
+                "threshold_ms": self.slow_log.threshold_ms,
+            }
+            if traceparent:
+                # A slow query correlates across sessions and services by
+                # the caller's trace context, not just by SQL text.
+                slow_event["traceparent"] = traceparent
+            self.events.record("slow_query", **slow_event)
 
     def record_statement(
         self,
@@ -421,7 +468,40 @@ class Telemetry:
         session = current_session.get()
         if session:
             detail["session"] = session
+        traceparent = current_traceparent.get()
+        if traceparent:
+            # Cancels and failures correlate across sessions by the
+            # caller's propagated trace context.
+            detail["traceparent"] = traceparent
         self.events.record("error", **detail)
+
+    def record_resource_exhausted(
+        self, exc: BaseException, *, sql: Optional[str], profiler: Any
+    ) -> None:
+        """A query died on its memory budget: keep its *partial* profile.
+
+        The profiler was live when :class:`ResourceExhausted` fired, so
+        freezing it now captures everything up to the failing operator —
+        exactly the evidence needed to size a budget or fix the query.
+        The entry goes to the slow-query log (when configured) regardless
+        of the duration threshold: an OOM-averted query is always worth
+        keeping.
+        """
+        profile = None if profiler is None else profiler.finish(sql=sql)
+        duration_ms = 0.0 if profile is None else round(profile.total_ms, 3)
+        if self.slow_log is not None:
+            self.slow_log.add(
+                sql, duration_ms, None if profile is None else profile.to_dict()
+            )
+        detail: Dict[str, Any] = {
+            "sql": sql,
+            "message": str(exc),
+            "duration_ms": duration_ms,
+        }
+        traceparent = current_traceparent.get()
+        if traceparent:
+            detail["traceparent"] = traceparent
+        self.events.record("resource_exhausted", **detail)
 
     # -- subsystem feeds -----------------------------------------------------
 

@@ -54,6 +54,12 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format: backslash and newline
+    only (quotes are legal in HELP, unlike in label values)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
     """Render a sample value: integers without a trailing ``.0``."""
     if isinstance(value, float) and value.is_integer():
@@ -281,6 +287,14 @@ class MetricsRegistry:
     def counter(
         self, name: str, help: str, labelnames: Sequence[str] = ()
     ) -> Counter:
+        # Prometheus naming convention: counters carry a _total suffix.
+        # Enforced at registration so every counter this engine ever
+        # exposes scrapes cleanly into standard tooling.
+        if not name.endswith("_total"):
+            raise ValueError(
+                f"counter {name!r} must end with '_total' "
+                "(Prometheus naming convention)"
+            )
         return self._register(Counter(name, help, labelnames))  # type: ignore[return-value]
 
     def gauge(
@@ -344,7 +358,7 @@ class MetricsRegistry:
         """Render every metric in the Prometheus text exposition format."""
         lines: List[str] = []
         for metric in self.metrics():
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 le_names = metric.labelnames + ("le",)

@@ -59,9 +59,21 @@ class TraceBuffer:
         *,
         sql: Optional[str] = None,
         spans_dropped: int = 0,
+        traceparent: Optional[str] = None,
     ) -> str:
-        """Flatten one span tree into the buffer; returns the trace_id."""
-        trace_id = self._trace_id()
+        """Flatten one span tree into the buffer; returns the trace_id.
+
+        When a valid W3C ``traceparent`` is supplied, the captured trace
+        adopts its trace id and parents the root span under the caller's
+        span id, so the export splices into the caller's distributed
+        trace.  Malformed values are ignored (a deterministic local id is
+        minted instead), per the Trace Context spec.
+        """
+        from repro.telemetry import parse_traceparent
+
+        parent = parse_traceparent(traceparent)
+        trace_id = self._trace_id() if parent is None else parent[0]
+        remote_parent = None if parent is None else parent[1]
         base_ns = root_span.start_ns
         flat: List[Dict[str, Any]] = []
 
@@ -85,7 +97,7 @@ class TraceBuffer:
             for child in span.children:
                 visit(child, span_id)
 
-        visit(root_span, None)
+        visit(root_span, remote_parent)
         trace: Dict[str, Any] = {
             "trace_id": trace_id,
             "captured_at": datetime.now(timezone.utc).isoformat(
@@ -95,6 +107,8 @@ class TraceBuffer:
             "spans_dropped": spans_dropped,
             "spans": flat,
         }
+        if parent is not None:
+            trace["traceparent"] = traceparent
         if len(self._traces) == self.capacity:
             self.dropped += 1
         self._traces.append(trace)

@@ -140,3 +140,54 @@ def test_multiple_statements_one_line(shell):
     sh, out = shell
     feed(sh, "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t;")
     assert "(1 rows)" in out.getvalue()
+
+
+def test_top_idle(shell):
+    sh, out = shell
+    feed(sh, "\\top")
+    assert "(no running queries)" in out.getvalue()
+
+
+def test_top_bad_argument(shell):
+    sh, out = shell
+    feed(sh, "\\top soon")
+    assert "usage: \\top [N]" in out.getvalue()
+
+
+def test_top_shows_running_query():
+    import threading
+    import time
+
+    out = io.StringIO()
+    db = Database(track_progress=True)
+    sh = Shell(db, out=out)
+    feed(sh, "CREATE TABLE big (x INTEGER);")
+    values = ", ".join(f"({i})" for i in range(300))
+    feed(sh, f"INSERT INTO big VALUES {values};")
+
+    def slow_join():
+        db.execute(
+            "SELECT COUNT(*) FROM big AS a JOIN big AS b ON a.x >= 0"
+        )
+
+    thread = threading.Thread(target=slow_join)
+    thread.start()
+    try:
+        saw_query = False
+        deadline = time.monotonic() + 10
+        while thread.is_alive() and time.monotonic() < deadline:
+            sh.show_top("1")
+            if "Join" in out.getvalue() or "Scan" in out.getvalue():
+                saw_query = True
+                break
+            time.sleep(0.005)
+    finally:
+        thread.join(timeout=30)
+    # The join is fast enough that a poll can miss it on a loaded runner;
+    # the shell must at least have produced the header or the idle line.
+    text = out.getvalue()
+    if saw_query:
+        assert "elapsed ms" in text
+        assert "SELECT COUNT(*) FROM big" in text
+    else:
+        assert "(no running queries)" in text
