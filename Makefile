@@ -1,6 +1,6 @@
 # Convenience targets for the Measures-in-SQL reproduction.
 
-.PHONY: test test-slow bench report snapshot compare shell tpch serve server-smoke examples lint validate all
+.PHONY: test test-slow bench report snapshot compare shell tpch serve server-smoke replay-smoke examples lint validate all
 
 # The committed perf baseline the regression gate compares against.
 BASELINE ?= benchmarks/BENCH_2026-08-07.json
@@ -38,6 +38,11 @@ serve:
 
 server-smoke:
 	python scripts/server_smoke.py
+
+# Record the paper listings through the server, replay the journal, and
+# require a byte-identical --diff (plus a rejected injected mismatch).
+replay-smoke:
+	python scripts/replay_smoke.py replay/journal.jsonl
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo ok; done

@@ -21,6 +21,12 @@ experiment in DESIGN.md's index, and exits non-zero on any mismatch.
       "generated": "<ISO-8601 UTC timestamp>",
       "python": "<interpreter version>",
       "platform": "<platform string>",
+      "meta": {  # provenance; --compare ignores it entirely
+        "git_commit": "<HEAD sha>" | null,
+        "python": "<interpreter version>",
+        "platform": "<platform string>",
+        "schema_date": "<YYYY-MM-DD>"
+      },
       "repeats": <best-of-N>,
       "listings": {
         "<name>": {
@@ -145,6 +151,37 @@ def _snapshot_database() -> Database:
     return db
 
 
+def snapshot_meta(now=None) -> dict:
+    """Provenance for one snapshot: where, when, and on what it was taken.
+
+    ``git_commit`` is None outside a git checkout (e.g. a source tarball);
+    the regression gate never reads this section, so older snapshots that
+    lack it entirely remain valid ``--compare`` baselines.
+    """
+    import platform
+    import subprocess
+    from datetime import datetime, timezone
+
+    if now is None:
+        now = datetime.now(timezone.utc)
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "schema_date": now.date().isoformat(),
+    }
+
+
 def write_snapshot(
     out_path: str | None = None,
     *,
@@ -201,6 +238,7 @@ def write_snapshot(
         "generated": now.isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "meta": snapshot_meta(now),
         "repeats": repeats,
         "listings": listings,
         "pytest_benchmark": embedded,

@@ -147,6 +147,19 @@ def check_observability(db, server, host: str, port: int) -> list[str]:
     print(f"healthz: {health}")
     if health.get("status") != "ok":
         failures.append(f"/healthz not ok: {health}")
+    if not isinstance(health.get("uptime_seconds"), (int, float)) or (
+        health["uptime_seconds"] < 0
+    ):
+        failures.append(f"/healthz uptime_seconds bad: {health}")
+    from repro import __version__
+
+    if health.get("version") != __version__:
+        failures.append(f"/healthz version != {__version__}: {health}")
+    if not isinstance(health.get("sessions"), int):
+        failures.append(f"/healthz sessions missing: {health}")
+    # The four clients already replayed every listing through telemetry.
+    if not health.get("queries_total", 0) > 0:
+        failures.append(f"/healthz queries_total not positive: {health}")
 
     metrics = _http_get(host, http_port, "/metrics")
     if "# TYPE queries_total counter" not in metrics:

@@ -53,6 +53,7 @@ GUARDED_MEMBERS = frozenset(
         "plan_query",
         "lint",
         "_execute_statement",
+        "_execute_plain",
         "_run_traced_statement",
         "create_table_from_rows",
     ]

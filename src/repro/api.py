@@ -122,6 +122,13 @@ class Database:
         ``/queries`` endpoint.  Default None means "on iff telemetry is
         on"; pass False to force it off (the zero-overhead configuration)
         or True to track without telemetry.
+    record_to:
+        Attach the workload flight recorder (:mod:`repro.history`): every
+        executed statement — canonical SQL, bind params, session,
+        traceparent, fingerprint, strategy, outcome, wall time, rows —
+        is appended to a JSON-lines journal at this path (or to a
+        pre-built :class:`~repro.history.JournalWriter`).  Replay it with
+        ``python -m repro.history replay <journal> --diff``.
     """
 
     def __init__(
@@ -136,6 +143,7 @@ class Database:
         slow_query_ms: Optional[float] = None,
         memory_limit_bytes: Optional[int] = None,
         track_progress: Optional[bool] = None,
+        record_to=None,
     ):
         from repro.analysis.validator import validation_enabled
 
@@ -191,6 +199,16 @@ class Database:
         #: the server's /queries endpoint.  Always present (cheap), only
         #: populated when tracking is enabled.
         self.running = QueryRegistry()
+        #: The workload flight recorder, or None when recording is off.
+        self.recorder = None
+        if record_to is not None:
+            from repro.history import JournalWriter
+
+            self.recorder = (
+                record_to
+                if isinstance(record_to, JournalWriter)
+                else JournalWriter(record_to)
+            )
         from repro.introspect import install_system_tables
 
         # The repro_* system tables always exist — with telemetry off they
@@ -208,17 +226,17 @@ class Database:
         if self.telemetry is not None:
             return self._execute_traced(sql, params)
         if not self.profile_enabled:
-            return self._execute_statement(parse_statement(sql), params)
+            return self._execute_plain(parse_statement(sql), params)
         from repro.profile import Profiler
 
         profiler = Profiler()
         with profiler.phase("parse"):
             statement = parse_statement(sql)
-        if isinstance(statement, ast.QueryStatement):
+        if isinstance(statement, ast.QueryStatement) and self.recorder is None:
             # The profiler carries the parse span into the query pipeline so
             # the finished profile covers the whole statement.
             return self._run_query(statement.query, params, profiler=profiler)
-        return self._execute_statement(statement, params)
+        return self._execute_plain(statement, params)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a semicolon-separated script; returns one Result each."""
@@ -229,7 +247,7 @@ class Database:
                 self.telemetry.record_error(exc, sql=sql)
                 raise
             return [self._run_traced_statement(s) for s in statements]
-        return [self._execute_statement(s) for s in parse_statements(sql)]
+        return [self._execute_plain(s) for s in parse_statements(sql)]
 
     def _execute_traced(self, sql: str, params: Sequence[Any] = ()) -> Result:
         """Telemetry-on :meth:`execute`: meter, log, and trace the statement."""
@@ -245,6 +263,54 @@ class Database:
         return self._run_traced_statement(
             statement, params, sql=sql, profiler=profiler
         )
+
+    def _execute_plain(
+        self, statement: ast.Statement, params: Sequence[Any] = ()
+    ) -> Result:
+        """Telemetry-off execution; journals to the recorder when attached.
+
+        Without a recorder this is exactly ``_execute_statement`` — the
+        zero-overhead path stays zero-overhead.
+        """
+        if self.recorder is None:
+            return self._execute_statement(statement, params)
+        import time as _time
+
+        from repro.introspect import fingerprint_statement
+        from repro.sql.printer import to_sql
+        from repro.telemetry import statement_kind
+
+        try:
+            sql = to_sql(statement)
+        except Exception:
+            sql = None
+        try:
+            fingerprint, _ = fingerprint_statement(statement)
+        except Exception:
+            fingerprint = None
+        kind = statement_kind(statement)
+        start = _time.perf_counter()
+        try:
+            result = self._execute_statement(statement, params)
+        except SqlError as exc:
+            self.recorder.record(
+                sql=sql,
+                params=params,
+                fingerprint=fingerprint,
+                kind=kind,
+                wall_ms=(_time.perf_counter() - start) * 1000.0,
+                error=exc,
+            )
+            raise
+        self.recorder.record(
+            sql=sql,
+            params=params,
+            fingerprint=fingerprint,
+            kind=kind,
+            wall_ms=(_time.perf_counter() - start) * 1000.0,
+            result=result,
+        )
+        return result
 
     def _run_traced_statement(
         self,
@@ -314,6 +380,23 @@ class Database:
                     ),
                     introspection=is_introspection_plan(self._last_plan),
                 )
+                if self.recorder is not None:
+                    self.recorder.record(
+                        sql=sql,
+                        params=params,
+                        fingerprint=fingerprint,
+                        strategy=(
+                            "summary"
+                            if any(
+                                r.status == "hit"
+                                for r in self._last_rewrite_reports
+                            )
+                            else "interpreter"
+                        ),
+                        kind=kind,
+                        wall_ms=(_time.perf_counter() - start) * 1000.0,
+                        result=result,
+                    )
                 return result
             result = self._execute_statement(statement, params)
         except SqlError as exc:
@@ -328,6 +411,15 @@ class Database:
             telemetry.record_error(
                 exc, sql=sql, fingerprint=fingerprint, query_text=normalized
             )
+            if self.recorder is not None:
+                self.recorder.record(
+                    sql=sql,
+                    params=params,
+                    fingerprint=fingerprint,
+                    kind=kind,
+                    wall_ms=(_time.perf_counter() - start) * 1000.0,
+                    error=exc,
+                )
             raise
         telemetry.record_statement(
             kind,
@@ -337,6 +429,15 @@ class Database:
             fingerprint=fingerprint,
             query_text=normalized,
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                sql=sql,
+                params=params,
+                fingerprint=fingerprint,
+                kind=kind,
+                wall_ms=(_time.perf_counter() - start) * 1000.0,
+                result=result,
+            )
         return result
 
     def query(self, sql: str) -> Result:
@@ -358,7 +459,10 @@ class Database:
             table.table.truncate()
             if count:
                 maintenance.on_mutation(self, statement.table)
+                self.catalog.note_rows_changed(statement.table, count)
             return Result(rowcount=count, message=f"{count} rows truncated")
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
         if isinstance(statement, ast.CreateView):
             return self._create_view(statement)
         if isinstance(statement, ast.CreateMaterializedView):
@@ -392,6 +496,46 @@ class Database:
                 rowcount=1,
             )
         raise SqlError(f"cannot execute {type(statement).__name__}")
+
+    def _analyze(self, statement: ast.Analyze) -> Result:
+        """``ANALYZE [table]``: gather per-column statistics into the catalog.
+
+        With no table, every base table (materialized views included) is
+        analyzed.  The stored statistics back ``repro_table_stats`` /
+        ``repro_column_stats`` and reset the table's staleness counter.
+        Returns one row per analyzed table.
+        """
+        from repro.catalog.objects import BaseTable
+        from repro.catalog.stats import analyze_table
+        from repro.types import INTEGER, VARCHAR
+
+        if statement.table is not None:
+            obj = self.catalog.resolve(statement.table)
+            if not isinstance(obj, BaseTable):
+                raise CatalogError(
+                    f"{statement.table!r} is a {obj.kind.lower()}; ANALYZE "
+                    f"targets tables"
+                )
+            targets = [obj]
+        else:
+            targets = sorted(
+                (o for o in self.catalog if isinstance(o, BaseTable)),
+                key=lambda o: o.name.lower(),
+            )
+        rows = []
+        for table in targets:
+            stats = analyze_table(table.name, table.schema, table.table.rows)
+            self.catalog.store_table_stats(stats)
+            rows.append((table.name, stats.row_count, len(stats.columns)))
+        return Result(
+            columns=[
+                ResultColumn("table_name", VARCHAR),
+                ResultColumn("row_count", INTEGER),
+                ResultColumn("columns_analyzed", INTEGER),
+            ],
+            rows=rows,
+            rowcount=len(rows),
+        )
 
     def _run_query(
         self,
@@ -828,6 +972,7 @@ class Database:
             maintenance.on_insert(
                 self, statement.table, table.table.rows[before:]
             )
+            self.catalog.note_rows_changed(statement.table, count)
         return Result(rowcount=count, message=f"{count} rows inserted")
 
     def _bind_table_predicate(self, table, where: Optional[ast.Expression]):
@@ -889,6 +1034,7 @@ class Database:
             count += 1
         if count:
             maintenance.on_mutation(self, statement.table)
+            self.catalog.note_rows_changed(statement.table, count)
         return Result(rowcount=count, message=f"{count} rows updated")
 
     def _delete(self, statement: ast.Delete, params: Sequence[Any] = ()) -> Result:
@@ -903,6 +1049,7 @@ class Database:
             ]
             table.table.rows[:] = kept
             maintenance.on_mutation(self, statement.table)
+            self.catalog.note_rows_changed(statement.table, len(doomed))
         return Result(rowcount=len(doomed), message=f"{len(doomed)} rows deleted")
 
     def _explain(self, statement: ast.ExplainPlan) -> Result:
@@ -1067,6 +1214,36 @@ class Database:
             return []
         return [f.as_dict() for f in self.telemetry.statements.flips()]
 
+    def strategy_stats(self) -> list:
+        """Per-(fingerprint, strategy) timing history, first-seen order.
+
+        One dict per pair — calls, total/mean/min/max wall ms, rows —
+        the same rows the ``repro_strategy_stats`` system table exposes.
+        Populated by ordinary execution (``interpreter``/``summary``)
+        and by :meth:`execute_with_strategy` runs; empty when telemetry
+        is off.
+        """
+        if self.telemetry is None:
+            return []
+        return [
+            e.as_dict() for e in self.telemetry.statements.strategy_entries()
+        ]
+
+    def table_stats(self) -> list:
+        """Stored ``ANALYZE`` results as dicts (row count, per-column NDV
+        / null fraction / min / max / histogram), plus each table's
+        rows-changed-since-analyze staleness counter.  Empty until
+        ``ANALYZE`` runs."""
+        return [
+            {
+                **stats.as_dict(),
+                "mods_since_analyze": self.catalog.mods_since_analyze(
+                    stats.table
+                ),
+            }
+            for stats in self.catalog.all_table_stats()
+        ]
+
     def reset_stats(self) -> None:
         """Discard all per-fingerprint statement statistics and retained
         plan flips (``pg_stat_statements_reset`` style).  Cumulative
@@ -1150,6 +1327,107 @@ class Database:
             )
         self._last_profile = profiler.finish(sql=sql)
         return sql
+
+    def execute_with_strategy(
+        self, sql: str, params: Sequence[Any] = (), *, strategy: str
+    ) -> Result:
+        """Execute a query under a chosen expansion strategy.
+
+        ``"interpreter"`` runs the query directly (the top-down measure
+        interpreter).  Any expansion strategy (``"subquery"``,
+        ``"inline"``, ``"window"``, ``"winmagic"``, ``"auto"``) first
+        rewrites the query to measure-free SQL, then executes the
+        rewritten form.  Timing is recorded in the per-strategy history
+        (``repro_strategy_stats``) under the *original* statement's
+        fingerprint — that is what makes one query's strategies
+        comparable rows — and no plan hash is stored, so strategy
+        experiments never register as plan flips.  A shape the strategy
+        does not support raises
+        :class:`~repro.errors.UnsupportedError`, recorded (and journaled)
+        as an error like any other failure.
+        """
+        if strategy == "interpreter":
+            return self.execute(sql, params)
+        import time as _time
+
+        from repro.introspect import fingerprint_statement
+
+        try:
+            statement = parse_statement(sql)
+        except SqlError as exc:
+            if self.telemetry is not None:
+                self.telemetry.record_error(exc, sql=sql)
+            raise
+        if not isinstance(statement, ast.QueryStatement) or isinstance(
+            statement.query, ast.ShowStats
+        ):
+            raise SqlError("execute_with_strategy() requires a query")
+        try:
+            fingerprint, normalized = fingerprint_statement(statement)
+        except Exception:
+            fingerprint = normalized = None
+        profiler = None
+        if self.telemetry is not None:
+            from repro.profile import Profiler
+
+            profiler = Profiler()
+        start = _time.perf_counter()
+        try:
+            expanded_sql = self.expand_query(
+                statement.query, strategy=strategy
+            )
+            expanded = parse_statement(expanded_sql)
+            self._last_rewrite_reports = []
+            self._last_plan = None
+            result = self._run_query(
+                expanded.query, params, profiler=profiler
+            )
+        except SqlError as exc:
+            if self.telemetry is not None:
+                self.telemetry.record_error(
+                    exc,
+                    sql=sql,
+                    fingerprint=fingerprint,
+                    query_text=normalized,
+                )
+            if self.recorder is not None:
+                self.recorder.record(
+                    sql=sql,
+                    params=params,
+                    fingerprint=fingerprint,
+                    strategy=strategy,
+                    kind="select",
+                    wall_ms=(_time.perf_counter() - start) * 1000.0,
+                    error=exc,
+                )
+            raise
+        wall_ms = (_time.perf_counter() - start) * 1000.0
+        if self.telemetry is not None:
+            # plan_shape=None: the expanded plan's hash would differ per
+            # strategy by construction, and a deliberate experiment is
+            # not a plan flip.
+            self.telemetry.record_query(
+                "select",
+                self._last_profile,
+                rows=len(result.rows),
+                sql=sql,
+                reports=(),
+                fingerprint=fingerprint,
+                query_text=normalized,
+                plan_shape=None,
+                strategy=strategy,
+            )
+        if self.recorder is not None:
+            self.recorder.record(
+                sql=sql,
+                params=params,
+                fingerprint=fingerprint,
+                strategy=strategy,
+                kind="select",
+                wall_ms=wall_ms,
+                result=result,
+            )
+        return result
 
     # -- convenience ------------------------------------------------------------
 

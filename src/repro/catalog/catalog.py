@@ -12,6 +12,7 @@ from repro.catalog.objects import (
     View,
 )
 from repro.catalog.schema import TableSchema
+from repro.catalog.stats import TableStats
 from repro.errors import CatalogError
 from repro.sql import ast
 from repro.storage.table import MemoryTable
@@ -32,6 +33,10 @@ class Catalog:
         #: returning ``{table_name: rows}`` for every member table, read
         #: from the backing store in one atomic call.
         self._snapshot_groups: dict[str, object] = {}
+        #: ``ANALYZE`` results, keyed by lowered table name, plus the
+        #: rows-changed-since-analyze staleness counters DML maintains.
+        self._table_stats: dict[str, TableStats] = {}
+        self._stats_mods: dict[str, int] = {}
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._objects
@@ -85,6 +90,44 @@ class Catalog:
     def is_system(self, name: str) -> bool:
         return name.lower() in self._system
 
+    # -- ANALYZE statistics --------------------------------------------------
+
+    def store_table_stats(self, stats: TableStats) -> None:
+        """Record an ``ANALYZE`` result and reset its staleness counter."""
+        key = stats.table.lower()
+        self._table_stats[key] = stats
+        self._stats_mods[key] = 0
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        """The stored ``ANALYZE`` result for ``name``, or None."""
+        return self._table_stats.get(name.lower())
+
+    def all_table_stats(self) -> list[TableStats]:
+        """Every stored ``ANALYZE`` result, in table-name order."""
+        return sorted(
+            self._table_stats.values(), key=lambda s: s.table.lower()
+        )
+
+    def note_rows_changed(self, name: str, count: int) -> None:
+        """Bump the staleness counter after DML changed ``count`` rows.
+
+        A no-op for tables that were never analyzed: staleness is defined
+        relative to a previous ANALYZE, so there is nothing to age.
+        """
+        key = name.lower()
+        if count and key in self._table_stats:
+            self._stats_mods[key] = self._stats_mods.get(key, 0) + count
+
+    def mods_since_analyze(self, name: str) -> int:
+        """Rows changed since ``name`` was last analyzed (0 if never)."""
+        return self._stats_mods.get(name.lower(), 0)
+
+    def discard_table_stats(self, name: str) -> None:
+        """Drop stored statistics (the table was dropped or replaced)."""
+        key = name.lower()
+        self._table_stats.pop(key, None)
+        self._stats_mods.pop(key, None)
+
     def _reject_system_name(self, name: str) -> None:
         if name.lower() in self._system:
             raise CatalogError(
@@ -119,6 +162,9 @@ class Catalog:
                 raise CatalogError(f"{name!r} exists and is not a table")
             if not or_replace:
                 raise CatalogError(f"object {name!r} already exists")
+            # Statistics describe the replaced table's data, not the new
+            # (empty) one; a later ANALYZE starts fresh.
+            self.discard_table_stats(name)
         table = BaseTable(name, MemoryTable(schema))
         self._objects[key] = table
         return table
@@ -160,6 +206,7 @@ class Catalog:
                     f"{name!r} is a {existing.kind.lower()}, not a "
                     f"materialized view; OR REPLACE cannot replace it"
                 )
+            self.discard_table_stats(name)
         self._objects[key] = view
         return view
 
@@ -196,6 +243,7 @@ class Catalog:
         if obj.kind != kind:
             raise CatalogError(f"{name!r} is a {obj.kind.lower()}, not a {kind.lower()}")
         del self._objects[key]
+        self.discard_table_stats(name)
         return True
 
     def base_table(self, name: str) -> BaseTable:

@@ -11,7 +11,13 @@ Backslash meta-commands:
 ``\\profile``               toggle per-query profiling (annotated operator
                            tree, phase timings, and counters after each query)
 ``\\expand [STRAT:] QUERY`` show the measure-free SQL a query expands to
-                           (STRAT: subquery, inline, window, or auto)
+                           (STRAT: subquery, inline, window, winmagic, auto)
+``\\analyze [NAME]``        collect column statistics (ANALYZE) for one
+                           table or every table
+``\\record PATH``           start journaling statements to PATH
+                           (``\\record off`` stops; docs/OBSERVABILITY.md)
+``\\watch [SECONDS] SQL``   re-run SQL every SECONDS (default 2) until
+                           interrupted with Ctrl-C
 ``\\lint SQL``              report static-analysis diagnostics for SQL
 ``\\matviews``              list materialized views with staleness and stats
 ``\\telemetry``             toggle database-lifetime telemetry collection
@@ -54,7 +60,12 @@ _HELP = """Meta commands:
   \\timing            toggle timing
   \\profile           toggle per-query profiling (plan tree + counters)
   \\expand [S:] QUERY; print the measure-free expansion of QUERY using
-                     strategy S (subquery, inline, window, auto)
+                     strategy S (subquery, inline, window, winmagic, auto)
+  \\analyze [NAME]    collect column statistics for NAME or all tables
+                     (ANALYZE in SQL; repro_table_stats/repro_column_stats)
+  \\record PATH       journal every statement to PATH for later replay
+                     (\\record off stops; python -m repro.history replay)
+  \\watch [N] SQL     re-run SQL every N seconds (default 2), Ctrl-C stops
   \\lint SQL;         report lint diagnostics (RPxxx) without executing
   \\matviews          list materialized views (staleness, hit/miss stats)
   \\telemetry         toggle telemetry (lifetime metrics, events, traces)
@@ -74,7 +85,7 @@ _HELP = """Meta commands:
   \\disconnect        close the server session
 """
 
-_EXPAND_STRATEGIES = ("subquery", "inline", "window", "auto")
+_EXPAND_STRATEGIES = ("subquery", "inline", "window", "winmagic", "auto")
 
 
 class Shell:
@@ -158,6 +169,12 @@ class Shell:
                 self.write(self.db.expand(argument, strategy=strategy))
             except SqlError as exc:
                 self.write(f"error: {exc}")
+        elif command == "\\analyze":
+            self.do_analyze(argument)
+        elif command == "\\record":
+            self.do_record(argument)
+        elif command == "\\watch":
+            self.do_watch(argument)
         elif command == "\\lint":
             self.lint(argument)
         elif command == "\\matviews":
@@ -231,6 +248,86 @@ class Shell:
             return
         for diag in diagnostics:
             self.write(diag.render())
+
+    def do_analyze(self, argument: str) -> None:
+        """``\\analyze [NAME]``: collect column statistics via ANALYZE."""
+        sql = f"ANALYZE {argument}" if argument else "ANALYZE"
+        if self.remote is not None:
+            self.run_remote_sql(sql)
+            return
+        try:
+            result = self.db.execute(sql)
+        except SqlError as exc:
+            self.write(f"error: {exc}")
+            return
+        for table_name, row_count, columns in result.rows:
+            self.write(
+                f"  analyzed {table_name}: {row_count} rows, "
+                f"{columns} columns"
+            )
+        if not result.rows:
+            self.write("(no tables to analyze)")
+
+    def do_record(self, argument: str) -> None:
+        """``\\record PATH`` / ``\\record off``: toggle the flight recorder."""
+        if not argument:
+            if self.db.recorder is None:
+                self.write("not recording (\\record PATH to start)")
+            else:
+                self.write(f"recording to {self.db.recorder.path}")
+            return
+        if argument.lower() == "off":
+            if self.db.recorder is None:
+                self.write("not recording")
+                return
+            path = self.db.recorder.path
+            self.db.recorder.close()
+            self.db.recorder = None
+            self.write(f"stopped recording to {path}")
+            return
+        if self.db.recorder is not None:
+            self.write(
+                f"already recording to {self.db.recorder.path} "
+                "(\\record off first)"
+            )
+            return
+        from repro.history import JournalWriter
+
+        try:
+            self.db.recorder = JournalWriter(argument)
+        except OSError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write(f"recording to {argument}")
+
+    def do_watch(self, argument: str) -> None:
+        """``\\watch [SECONDS] SQL``: re-run SQL at an interval.
+
+        Stops on Ctrl-C (KeyboardInterrupt), like ``psql``'s ``\\watch``.
+        """
+        interval = 2.0
+        sql = argument
+        head, _, rest = argument.partition(" ")
+        if head:
+            try:
+                interval = float(head)
+            except ValueError:
+                pass
+            else:
+                sql = rest.strip()
+        sql = sql.strip().rstrip(";").strip()
+        if not sql or interval <= 0:
+            self.write("usage: \\watch [SECONDS] SQL")
+            return
+        iteration = 0
+        try:
+            while True:
+                iteration += 1
+                self.write(f"-- watch #{iteration}: {sql}")
+                self.run_sql(sql + ";")
+                time.sleep(interval)
+        except KeyboardInterrupt:
+            self.write(f"\\watch stopped after {iteration} runs")
 
     def list_matviews(self) -> None:
         """Print every materialized view with staleness and usage counters."""

@@ -111,7 +111,62 @@ def expand_query_ast(
             "window",
             lambda: window_expand(db, copy.deepcopy(query), tracer=tracer),
         )
+    if strategy == "winmagic":
+        # Section 6.3: expand to the general correlated-subquery form,
+        # then de-correlate it into window aggregates.  Raises
+        # UnsupportedError when the expanded shape is not a WinMagic
+        # pattern, so the strategy composes with the others' contract.
+        from repro.core.winmagic import winmagic_rewrite
+
+        def _winmagic() -> ast.Query:
+            expanded = Expander(db).expand_query(copy.deepcopy(query))
+            if isinstance(expanded, ast.Select):
+                expanded.from_clause = _collapse_identity_projection(
+                    expanded.from_clause
+                )
+            return winmagic_rewrite(db, expanded, tracer=tracer)
+
+        return _traced_attempt(tracer, "winmagic", _winmagic)
     raise UnsupportedError(f"unknown expansion strategy {strategy!r}")
+
+
+def _collapse_identity_projection(
+    from_clause: Optional[ast.TableRef],
+) -> Optional[ast.TableRef]:
+    """``(SELECT c AS c, ... FROM T) AS o`` -> ``T AS o`` when trivial.
+
+    The subquery expander wraps the source table in an identity
+    projection of the referenced columns; WinMagic wants the bare table.
+    Collapsing is only done when the inner query is a pure column-list
+    projection of a single base table — no predicate, grouping, DISTINCT,
+    ordering, or computed item — so it never changes row multiplicity or
+    values.
+    """
+    if not isinstance(from_clause, ast.SubqueryRef):
+        return from_clause
+    inner = from_clause.query
+    if not isinstance(inner, ast.Select):
+        return from_clause
+    if not isinstance(inner.from_clause, ast.TableName):
+        return from_clause
+    if (
+        inner.where is not None
+        or inner.group_by
+        or inner.having is not None
+        or inner.qualify is not None
+        or inner.order_by
+        or inner.limit is not None
+        or inner.offset is not None
+        or inner.distinct
+        or inner.from_clause.alias is not None
+    ):
+        return from_clause
+    for item in inner.items:
+        if not isinstance(item.expr, ast.ColumnRef) or len(item.expr.parts) != 1:
+            return from_clause
+        if item.alias is not None and item.alias.lower() != item.expr.name.lower():
+            return from_clause
+    return ast.TableName(inner.from_clause.name, alias=from_clause.alias)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Historical observability: the workload flight recorder and replay.
+
+Live observability (PR 9) dies with the process.  This package makes
+workload history durable and *replayable*:
+
+* :class:`JournalWriter` — attached via ``Database(record_to=...)`` or
+  ``python -m repro.server --record`` — appends every executed statement
+  (canonical SQL, bind params, session, traceparent, fingerprint,
+  strategy, outcome, wall time, rows, and a digest of the result bytes)
+  to a versioned JSON-lines journal.
+* :func:`replay_journal` / ``python -m repro.history replay`` re-execute
+  a journal deterministically against a fresh database; ``--diff``
+  compares per-statement results and errors byte-for-byte against what
+  was recorded and exits non-zero on any divergence — a record→replay→
+  diff regression harness for every future change.
+
+The journal is append-only, one JSON object per line, schema-versioned
+(:data:`JOURNAL_SCHEMA`), and canonical (sorted keys, compact
+separators) so identical workloads produce identical bytes.
+"""
+
+from repro.history.journal import (
+    JOURNAL_SCHEMA,
+    JournalEntry,
+    JournalWriter,
+    read_journal,
+    result_digest,
+)
+from repro.history.replay import (
+    Divergence,
+    ReplayReport,
+    build_bootstrap_database,
+    replay_journal,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "JournalWriter",
+    "read_journal",
+    "result_digest",
+    "Divergence",
+    "ReplayReport",
+    "build_bootstrap_database",
+    "replay_journal",
+]

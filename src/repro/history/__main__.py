@@ -1,0 +1,78 @@
+"""Command line for the workload journal.
+
+``python -m repro.history replay <journal>`` re-executes a recorded
+workload against a fresh database; add ``--diff`` to require every
+statement's result (or error) to match the recording byte-for-byte.
+``show`` pretty-prints a journal without executing anything.
+
+Exit status: 0 on success, 1 when ``--diff`` found divergences, 2 on an
+unreadable or foreign file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.history.replay import replay_journal
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        report = replay_journal(args.journal, diff=args.diff)
+    except (OSError, ValueError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    for divergence in report.divergences:
+        print(divergence.render())
+    print(report.summary())
+    return 1 if report.divergences else 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.history.journal import read_journal
+
+    try:
+        header, entries = read_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"show: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"journal {args.journal}: schema={header.get('schema')} "
+        f"bootstrap={header.get('bootstrap')} entries={len(entries)}"
+    )
+    for entry in entries:
+        strategy = f" [{entry.strategy}]" if entry.strategy else ""
+        print(
+            f"  #{entry.seq} {entry.outcome}{strategy} "
+            f"{entry.wall_ms}ms rows={entry.rows} {entry.sql}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.history",
+        description="Replay or inspect a workload journal.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    replay = commands.add_parser(
+        "replay", help="re-execute a journal against a fresh database"
+    )
+    replay.add_argument("journal", help="path to a repro-journal-v1 file")
+    replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare every result/error byte-for-byte; non-zero exit "
+        "on divergence",
+    )
+    replay.set_defaults(func=_cmd_replay)
+    show = commands.add_parser("show", help="print a journal's entries")
+    show.add_argument("journal", help="path to a repro-journal-v1 file")
+    show.set_defaults(func=_cmd_show)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

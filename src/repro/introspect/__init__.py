@@ -2,10 +2,13 @@
 
 The database observing itself, as SQL.  This package provides
 
-* :func:`install_system_tables` — registers the seven virtual
-  ``repro_*`` tables in a Database's catalog (``repro_stat_statements``,
-  ``repro_plan_flips``, ``repro_metrics``, ``repro_events``,
-  ``repro_slow_queries``, ``repro_matviews``, ``repro_tables``);
+* :func:`install_system_tables` — registers the twelve virtual
+  ``repro_*`` tables in a Database's catalog (see
+  :data:`SYSTEM_TABLE_NAMES`), from statement statistics
+  (``repro_stat_statements``, ``repro_strategy_stats``,
+  ``repro_plan_flips``) through live progress
+  (``repro_running_queries``) to ``ANALYZE`` results
+  (``repro_table_stats``, ``repro_column_stats``);
 * statement fingerprinting (:func:`fingerprint_statement`) — literals
   normalized to ``?`` and IN-lists collapsed over the AST, so repeated
   parameterized statements aggregate under one fingerprint;
@@ -28,6 +31,7 @@ from repro.introspect.statements import (
     PlanFlip,
     StatementEntry,
     StatementStatsStore,
+    StrategyEntry,
 )
 from repro.introspect.tables import SYSTEM_TABLE_NAMES, install_system_tables
 
@@ -36,6 +40,7 @@ __all__ = [
     "PlanFlip",
     "StatementEntry",
     "StatementStatsStore",
+    "StrategyEntry",
     "fingerprint_statement",
     "install_system_tables",
     "is_introspection_plan",

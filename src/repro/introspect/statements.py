@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["StatementEntry", "PlanFlip", "StatementStatsStore"]
+__all__ = [
+    "StatementEntry",
+    "StrategyEntry",
+    "PlanFlip",
+    "StatementStatsStore",
+]
 
 
 def _utc_now() -> str:
@@ -86,6 +91,58 @@ class StatementEntry:
 
 
 @dataclass
+class StrategyEntry:
+    """Lifetime statistics for one (fingerprint, strategy) pair.
+
+    This is the timing *history* behind ``repro_strategy_stats``: where
+    :class:`StatementEntry` keeps only the last observed strategy, one
+    of these accumulates per strategy, so inline-vs-window-vs-subquery
+    -vs-WinMagic costs for the same statement survive across executions
+    and a cost-based chooser can compare them.
+    """
+
+    fingerprint: str
+    strategy: str
+    query: str  # normalized (literal-free) text
+    calls: int = 0
+    total_wall_ms: float = 0.0
+    min_wall_ms: Optional[float] = None
+    max_wall_ms: Optional[float] = None
+    rows_returned: int = 0
+
+    @property
+    def mean_wall_ms(self) -> float:
+        return self.total_wall_ms / self.calls if self.calls else 0.0
+
+    def as_row(self) -> tuple:
+        """The ``repro_strategy_stats`` row, in column order."""
+        return (
+            self.fingerprint,
+            self.strategy,
+            self.query,
+            self.calls,
+            self.total_wall_ms,
+            self.mean_wall_ms,
+            self.min_wall_ms,
+            self.max_wall_ms,
+            self.rows_returned,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "strategy": self.strategy,
+            "query": self.query,
+            "calls": self.calls,
+            "total_wall_ms": self.total_wall_ms,
+            "mean_wall_ms": self.mean_wall_ms,
+            "min_wall_ms": self.min_wall_ms,
+            "max_wall_ms": self.max_wall_ms,
+            "rows_returned": self.rows_returned,
+        }
+
+
+@dataclass
 class PlanFlip:
     """One detected plan change for a statement fingerprint."""
 
@@ -128,6 +185,7 @@ class StatementStatsStore:
 
     def __init__(self, *, flip_capacity: int = 200):
         self._entries: Dict[str, StatementEntry] = {}
+        self._strategy: Dict[Tuple[str, str], StrategyEntry] = {}
         self._flips: deque = deque(maxlen=flip_capacity)
         self._flip_seq = 0
         #: One lock for the whole store: entry mutation, flip append, and
@@ -196,6 +254,25 @@ class StatementStatsStore:
             else max(entry.max_wall_ms, duration_ms)
         )
         entry.rows_returned += rows
+        if strategy is not None:
+            key = (fingerprint, strategy)
+            per = self._strategy.get(key)
+            if per is None:
+                per = StrategyEntry(fingerprint, strategy, query)
+                self._strategy[key] = per
+            per.calls += 1
+            per.total_wall_ms += duration_ms
+            per.min_wall_ms = (
+                duration_ms
+                if per.min_wall_ms is None
+                else min(per.min_wall_ms, duration_ms)
+            )
+            per.max_wall_ms = (
+                duration_ms
+                if per.max_wall_ms is None
+                else max(per.max_wall_ms, duration_ms)
+            )
+            per.rows_returned += rows
         flip: Optional[PlanFlip] = None
         if plan_hash is not None:
             if (
@@ -234,29 +311,39 @@ class StatementStatsStore:
         with self._lock:
             return list(self._flips)
 
-    def snapshot(self) -> Tuple[List[StatementEntry], List[PlanFlip]]:
-        """Entries and flips captured under one lock acquisition.
+    def strategy_entries(self) -> List[StrategyEntry]:
+        """Per-(fingerprint, strategy) history, in first-seen order."""
+        with self._lock:
+            return [dataclasses.replace(e) for e in self._strategy.values()]
+
+    def snapshot(
+        self,
+    ) -> Tuple[List[StatementEntry], List[PlanFlip], List[StrategyEntry]]:
+        """Entries, flips, and strategy history under one lock acquisition.
 
         This is the consistency primitive behind the
-        ``repro_stat_statements`` / ``repro_plan_flips`` snapshot group: a
-        query joining the two system tables sees one store state, so a
-        flip row always has a matching statistics row even while other
-        sessions execute or :meth:`reset` concurrently.
+        ``repro_stat_statements`` / ``repro_plan_flips`` /
+        ``repro_strategy_stats`` snapshot group: a query joining the
+        tables sees one store state, so a flip or strategy row always has
+        a matching statistics row even while other sessions execute or
+        :meth:`reset` concurrently.
         """
         with self._lock:
             return (
                 [dataclasses.replace(e) for e in self._entries.values()],
                 list(self._flips),
+                [dataclasses.replace(e) for e in self._strategy.values()],
             )
 
     def reset(self) -> None:
         """Discard all statistics and retained flips (``reset_stats()``).
 
-        Both clears happen under the store lock — atomically, as far as
-        any concurrent observer is concerned — so ``repro_plan_flips``
+        All three clears happen under the store lock — atomically, as far
+        as any concurrent observer is concerned — so ``repro_plan_flips``
         can never reference a fingerprint absent from
         ``repro_stat_statements``.
         """
         with self._lock:
             self._entries.clear()
+            self._strategy.clear()
             self._flips.clear()

@@ -1,17 +1,20 @@
 """The ``repro_*`` system tables: schemas and providers.
 
-:func:`install_system_tables` registers nine read-only virtual tables in
-a Database's catalog.  Each is a :class:`~repro.catalog.objects.SystemTable`
-whose provider closes over the Database and computes rows on demand — no
-storage, no refresh, always current.  They bind and scan like ordinary
-tables, so views (including measure views) compose over them and the
-whole measure vocabulary (``AS MEASURE``, ``AGGREGATE``, ``AT``) applies
-to the engine's own statistics.
+:func:`install_system_tables` registers twelve read-only virtual tables
+in a Database's catalog.  Each is a
+:class:`~repro.catalog.objects.SystemTable` whose provider closes over
+the Database and computes rows on demand — no storage, no refresh,
+always current.  They bind and scan like ordinary tables, so views
+(including measure views) compose over them and the whole measure
+vocabulary (``AS MEASURE``, ``AGGREGATE``, ``AT``) applies to the
+engine's own statistics.
 
-Telemetry-backed tables (``repro_stat_statements``, ``repro_metrics``,
-``repro_events``, ``repro_slow_queries``, ``repro_plan_flips``) are empty
-— not errors — when telemetry is off; ``repro_tables`` and
-``repro_matviews`` read the catalog and work regardless.
+Telemetry-backed tables (``repro_stat_statements``, ``repro_strategy_stats``,
+``repro_metrics``, ``repro_events``, ``repro_slow_queries``,
+``repro_plan_flips``) are empty — not errors — when telemetry is off;
+``repro_tables``, ``repro_matviews``, and the ``ANALYZE``-backed
+``repro_table_stats`` / ``repro_column_stats`` read the catalog and work
+regardless.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ __all__ = ["SYSTEM_TABLE_NAMES", "install_system_tables"]
 SYSTEM_TABLE_NAMES = (
     "repro_stat_statements",
     "repro_plan_flips",
+    "repro_strategy_stats",
     "repro_metrics",
     "repro_events",
     "repro_slow_queries",
@@ -39,11 +43,19 @@ SYSTEM_TABLE_NAMES = (
     "repro_tables",
     "repro_running_queries",
     "repro_query_progress",
+    "repro_table_stats",
+    "repro_column_stats",
 )
 
 
 def _schema(*columns: tuple) -> TableSchema:
     return TableSchema([Column(name, dtype) for name, dtype in columns])
+
+
+def _stat_text(value) -> "str | None":
+    """Render a min/max statistic as text (the column type varies per
+    analyzed column, the system-table column cannot)."""
+    return None if value is None else str(value)
 
 
 def install_system_tables(db: "Database") -> None:
@@ -59,21 +71,71 @@ def install_system_tables(db: "Database") -> None:
             return []
         return [f.as_row() for f in db.telemetry.statements.flips()]
 
-    def statements_group() -> dict[str, list[tuple]]:
-        """Both statement tables from ONE locked read of the stats store.
+    def strategy_stats() -> list[tuple]:
+        if db.telemetry is None:
+            return []
+        return [
+            e.as_row() for e in db.telemetry.statements.strategy_entries()
+        ]
 
-        A query touching repro_stat_statements and repro_plan_flips gets
-        rows derived from a single :meth:`StatementStatsStore.snapshot`,
-        so a concurrent ``reset_stats()`` (which clears entries and flips
-        atomically) can never leave a flip row pointing at a fingerprint
-        the statistics no longer contain.
+    def statements_group() -> dict[str, list[tuple]]:
+        """All three statement tables from ONE locked read of the store.
+
+        A query touching repro_stat_statements, repro_plan_flips, and
+        repro_strategy_stats gets rows derived from a single
+        :meth:`StatementStatsStore.snapshot`, so a concurrent
+        ``reset_stats()`` (which clears all three atomically) can never
+        leave a flip or strategy row pointing at a fingerprint the
+        statistics no longer contain.
         """
         if db.telemetry is None:
-            return {"repro_stat_statements": [], "repro_plan_flips": []}
-        entries, flips = db.telemetry.statements.snapshot()
+            return {
+                "repro_stat_statements": [],
+                "repro_plan_flips": [],
+                "repro_strategy_stats": [],
+            }
+        entries, flips, strategies = db.telemetry.statements.snapshot()
         return {
             "repro_stat_statements": [e.as_row() for e in entries],
             "repro_plan_flips": [f.as_row() for f in flips],
+            "repro_strategy_stats": [s.as_row() for s in strategies],
+        }
+
+    def table_stats_group() -> dict[str, list[tuple]]:
+        """Both ANALYZE tables from one pass over the stored statistics,
+        so a column row always has a matching table row even if another
+        session re-analyzes between scans."""
+        table_rows: list[tuple] = []
+        column_rows: list[tuple] = []
+        for stats in db.catalog.all_table_stats():
+            mods = db.catalog.mods_since_analyze(stats.table)
+            table_rows.append(
+                (
+                    stats.table,
+                    stats.row_count,
+                    len(stats.columns),
+                    stats.analyzed_at,
+                    mods,
+                    mods > 0,
+                )
+            )
+            for column in stats.columns:
+                column_rows.append(
+                    (
+                        stats.table,
+                        column.column,
+                        column.dtype,
+                        column.ndv,
+                        column.null_count,
+                        column.null_frac,
+                        _stat_text(column.min_value),
+                        _stat_text(column.max_value),
+                        column.histogram_json(),
+                    )
+                )
+        return {
+            "repro_table_stats": table_rows,
+            "repro_column_stats": column_rows,
         }
 
     def metrics() -> list[tuple]:
@@ -182,6 +244,7 @@ def install_system_tables(db: "Database") -> None:
     register = db.catalog.register_system_table
     db.catalog.register_snapshot_group("statements", statements_group)
     db.catalog.register_snapshot_group("running", running_group)
+    db.catalog.register_snapshot_group("table_stats", table_stats_group)
     register(
         SystemTable(
             "repro_stat_statements",
@@ -218,6 +281,25 @@ def install_system_tables(db: "Database") -> None:
             ),
             plan_flips,
             comment="plan-hash changes detected per statement fingerprint",
+            group="statements",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_strategy_stats",
+            _schema(
+                ("fingerprint", VARCHAR),
+                ("strategy", VARCHAR),
+                ("query", VARCHAR),
+                ("calls", INTEGER),
+                ("total_wall_ms", DOUBLE),
+                ("mean_wall_ms", DOUBLE),
+                ("min_wall_ms", DOUBLE),
+                ("max_wall_ms", DOUBLE),
+                ("rows_returned", INTEGER),
+            ),
+            strategy_stats,
+            comment="per-(fingerprint, strategy) timing history",
             group="statements",
         )
     )
@@ -330,5 +412,40 @@ def install_system_tables(db: "Database") -> None:
             lambda: running_group()["repro_query_progress"],
             comment="per-operator estimated-vs-actual rows for running queries",
             group="running",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_table_stats",
+            _schema(
+                ("table_name", VARCHAR),
+                ("row_count", INTEGER),
+                ("column_count", INTEGER),
+                ("analyzed_at", VARCHAR),
+                ("mods_since_analyze", INTEGER),
+                ("stale", BOOLEAN),
+            ),
+            lambda: table_stats_group()["repro_table_stats"],
+            comment="per-table ANALYZE results with staleness tracking",
+            group="table_stats",
+        )
+    )
+    register(
+        SystemTable(
+            "repro_column_stats",
+            _schema(
+                ("table_name", VARCHAR),
+                ("column_name", VARCHAR),
+                ("dtype", VARCHAR),
+                ("ndv", INTEGER),
+                ("null_count", INTEGER),
+                ("null_frac", DOUBLE),
+                ("min_value", VARCHAR),
+                ("max_value", VARCHAR),
+                ("histogram", VARCHAR),
+            ),
+            lambda: table_stats_group()["repro_column_stats"],
+            comment="per-column ANALYZE statistics (NDV, nulls, min/max, histogram)",
+            group="table_stats",
         )
     )

@@ -9,9 +9,11 @@ the query server's JSON-lines TCP port:
     :meth:`~repro.api.Database.metrics_text`.  Empty body when the
     served Database has telemetry off.
 ``GET /healthz``
-    A small JSON liveness document: ``{"status": "ok", "sessions": N,
-    "running": M}`` where ``sessions`` counts open server sessions and
-    ``running`` counts queries currently executing.
+    A small JSON liveness document: ``status``, ``version`` (the repro
+    package version), ``uptime_seconds`` since the sidecar started,
+    ``sessions`` (open server sessions), ``running`` (queries currently
+    executing), and ``queries_total`` (statements recorded by telemetry
+    since startup, 0 when telemetry is off).
 ``GET /queries``
     The live-progress registry as JSON — one object per in-flight query
     with rows processed, current operator, memory accounting, and the
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -60,6 +63,7 @@ class ObservabilityServer:
         self.port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._started_monotonic: Optional[float] = None
 
     # -- endpoint bodies ---------------------------------------------------
 
@@ -67,11 +71,23 @@ class ObservabilityServer:
         return self.db.metrics_text()
 
     def healthz_body(self) -> dict:
+        from repro import __version__
+
         sessions = 0 if self.manager is None else len(self.manager.sessions())
+        uptime = 0.0
+        if self._started_monotonic is not None:
+            uptime = time.monotonic() - self._started_monotonic
+        telemetry = self.db.telemetry
+        queries_total = (
+            0 if telemetry is None else telemetry.queries_total.total()
+        )
         return {
             "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(uptime, 3),
             "sessions": sessions,
             "running": len(self.db.running),
+            "queries_total": queries_total,
         }
 
     def queries_body(self) -> dict:
@@ -124,6 +140,7 @@ class ObservabilityServer:
 
         self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
         self._httpd.daemon_threads = True
+        self._started_monotonic = time.monotonic()
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

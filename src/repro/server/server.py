@@ -369,6 +369,13 @@ def main(argv=None) -> None:
         help="serve /metrics, /healthz and /queries over HTTP on this "
         "port (0 picks a free port; omitted disables the sidecar)",
     )
+    parser.add_argument(
+        "--record",
+        metavar="PATH",
+        default=None,
+        help="append every executed statement to a replayable journal at "
+        "PATH (see python -m repro.history)",
+    )
     args = parser.parse_args(argv)
 
     db = Database(telemetry=True)
@@ -379,6 +386,16 @@ def main(argv=None) -> None:
         load_paper_tables(db)
         for ddl in SETUP.values():
             db.execute(ddl)
+    if args.record is not None:
+        # Attached after the preload so the journal starts at the served
+        # workload; the header's bootstrap field tells replay how to
+        # rebuild the pre-recording state.
+        from repro.history import JournalWriter
+
+        db.recorder = JournalWriter(
+            args.record, bootstrap="listings" if args.listings else None
+        )
+        print(f"recording workload to {args.record}")
 
     async def _serve() -> None:
         server = await QueryServer(
@@ -398,6 +415,8 @@ def main(argv=None) -> None:
             await server.serve_forever()
         finally:
             await server.stop()
+            if db.recorder is not None:
+                db.recorder.close()
 
     try:
         asyncio.run(_serve())

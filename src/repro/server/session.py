@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from contextlib import contextmanager
 from datetime import datetime, timezone
 from typing import Any, Optional, Sequence
@@ -37,6 +38,7 @@ from repro.errors import SqlError
 from repro.result import Result
 from repro.server.plancache import PlanCache
 from repro.sql import ast, parse_statement
+from repro.telemetry import statement_kind
 
 __all__ = ["Session", "SessionManager"]
 
@@ -186,6 +188,10 @@ class Session:
         except SqlError as exc:
             if self.db.telemetry is not None:
                 self.db.telemetry.record_error(exc, sql=sql)
+            if self.db.recorder is not None:
+                # Parse failures are part of the workload: replaying the
+                # journal must reproduce them as errors, not skip them.
+                self.db.recorder.record(sql=sql, error=exc)
             raise
 
     def _run(
@@ -208,7 +214,7 @@ class Session:
                 # Answered from the registry; no plan, nothing to cache.
                 if db.telemetry is not None:
                     return db._run_traced_statement(statement, params, sql=sql)
-                return db._execute_statement(statement, params)
+                return db._execute_plain(statement, params)
             manager.sync_plan_flips()
             from repro.sql.printer import to_sql
 
@@ -216,11 +222,13 @@ class Session:
             planned = manager.plan_cache.get(key)
             cached = planned is not None
             telemetry = db.telemetry
+            recorder = db.recorder
             if telemetry is not None:
                 if cached:
                     telemetry.plan_cache_hits_total.inc()
                 else:
                     telemetry.plan_cache_misses_total.inc()
+            start = time.perf_counter()
             try:
                 if planned is None:
                     planned = db.plan_query(statement.query, sql=key)
@@ -254,10 +262,33 @@ class Session:
                     telemetry.record_error(
                         exc, sql=key, fingerprint=fp, query_text=norm
                     )
+                if recorder is not None:
+                    recorder.record(
+                        sql=key,
+                        params=params,
+                        fingerprint=(
+                            planned.fingerprint if planned is not None else None
+                        ),
+                        strategy=(
+                            planned.strategy if planned is not None else None
+                        ),
+                        kind=statement_kind(statement),
+                        wall_ms=(time.perf_counter() - start) * 1000.0,
+                        error=exc,
+                    )
                 raise
+            if recorder is not None:
+                recorder.record(
+                    sql=key,
+                    params=params,
+                    fingerprint=planned.fingerprint,
+                    strategy=planned.strategy,
+                    kind=statement_kind(statement),
+                    wall_ms=(time.perf_counter() - start) * 1000.0,
+                    result=result,
+                )
             if telemetry is not None:
                 from repro.introspect import is_introspection_plan
-                from repro.telemetry import statement_kind
 
                 telemetry.record_query(
                     statement_kind(statement),
@@ -286,7 +317,7 @@ class Session:
             if db.telemetry is not None:
                 result = db._run_traced_statement(statement, params, sql=sql)
             else:
-                result = db._execute_statement(statement, params)
+                result = db._execute_plain(statement, params)
             # Invalidate while still exclusive: no reader can replay a
             # stale plan between the mutation and the eviction.
             self.manager.invalidate_for(statement)

@@ -585,6 +585,17 @@ class Truncate(Statement):
 
 
 @dataclass
+class Analyze(Statement):
+    """``ANALYZE [table]``: collect per-column statistics (row count, NDV,
+    min/max, null fraction, equi-depth histogram) into the catalog.  With
+    no table, every base table (materialized views included) is analyzed.
+    The results back the ``repro_table_stats`` / ``repro_column_stats``
+    system tables."""
+
+    table: Optional[str] = None
+
+
+@dataclass
 class CreateView(Statement):
     name: str
     query: Query

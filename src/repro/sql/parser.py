@@ -167,6 +167,15 @@ class _Parser:
             self.advance()
             self.accept_keyword("TABLE")
             return ast.Truncate(self.expect_ident("table name"))
+        if (
+            self.current.type is TokenType.IDENT
+            and str(self.current.value).upper() == "ANALYZE"
+        ):
+            self.advance()
+            table = None
+            if self.current.type is TokenType.IDENT:
+                table = self.expect_ident("table name")
+            return ast.Analyze(table)
         if self.at_keyword("DELETE"):
             return self._delete()
         if self.at_keyword("REFRESH"):

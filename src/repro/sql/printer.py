@@ -416,6 +416,11 @@ class _Printer:
     def _render_Truncate(self, node: ast.Truncate) -> str:
         return f"TRUNCATE TABLE {_ident(node.table)}"
 
+    def _render_Analyze(self, node: ast.Analyze) -> str:
+        if node.table is None:
+            return "ANALYZE"
+        return f"ANALYZE {_ident(node.table)}"
+
     def _render_ExplainPlan(self, node: ast.ExplainPlan) -> str:
         # Canonical option form: bare ANALYZE when it is the only option,
         # parenthesized list otherwise (LINT/TYPES always print in parens).

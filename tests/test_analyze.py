@@ -1,0 +1,291 @@
+"""``ANALYZE`` column statistics: collection, exactness, and staleness.
+
+The statistics are computed from every row actually present (no
+sampling), so every assertion here is exact — including the TPC-H
+differential class, which checks the stored counts against the
+generator's own cardinality function.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Database
+from repro.catalog.stats import (
+    HISTOGRAM_BUCKETS,
+    analyze_table,
+    equi_depth_bounds,
+)
+from repro.errors import CatalogError, SqlError
+from repro.sql import parse_statement
+from repro.sql.printer import to_sql
+
+
+# -- the statistics kernel ----------------------------------------------------
+
+
+class TestEquiDepthBounds:
+    def test_empty_input(self):
+        assert equi_depth_bounds([]) == ()
+
+    def test_uniform_integers_cut_at_decile_boundaries(self):
+        assert equi_depth_bounds(list(range(1, 101))) == (
+            10, 20, 30, 40, 50, 60, 70, 80, 90, 100,
+        )
+
+    def test_heavy_hitter_bounds_collapse(self):
+        # 90 copies of one value spanning several buckets -> one bound.
+        values = [7] * 90 + [8] * 10
+        bounds = equi_depth_bounds(values)
+        assert bounds == (7, 8)
+
+    def test_fewer_values_than_buckets(self):
+        assert equi_depth_bounds([1, 2, 3]) == (1, 2, 3)
+
+    def test_custom_bucket_count(self):
+        assert equi_depth_bounds(list(range(1, 9)), buckets=2) == (4, 8)
+
+
+class TestAnalyzeTableKernel:
+    def _stats(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER, s VARCHAR)")
+        if rows:
+            values = ", ".join(
+                f"({'NULL' if x is None else x}, "
+                f"{'NULL' if s is None else repr(s)})"
+                for x, s in rows
+            )
+            db.execute(f"INSERT INTO t VALUES {values}")
+        table = db.catalog.resolve("t")
+        return analyze_table("t", table.schema, table.table.rows)
+
+    def test_exact_counts_ndv_nulls_minmax(self):
+        stats = self._stats([(1, "a"), (2, "b"), (2, None), (None, "a")])
+        assert stats.row_count == 4
+        x = stats.column("x")
+        assert (x.ndv, x.null_count, x.null_frac) == (2, 1, 0.25)
+        assert (x.min_value, x.max_value) == (1, 2)
+        assert x.histogram == (1, 2)
+        s = stats.column("S")  # case-insensitive lookup
+        assert (s.ndv, s.null_count) == (2, 1)
+        assert (s.min_value, s.max_value) == ("a", "b")
+
+    def test_empty_table(self):
+        stats = self._stats([])
+        assert stats.row_count == 0
+        x = stats.column("x")
+        assert (x.ndv, x.null_count, x.null_frac) == (0, 0, 0.0)
+        assert x.min_value is None and x.histogram == ()
+
+    def test_histogram_json_is_json(self):
+        stats = self._stats([(i, "v") for i in range(1, 101)])
+        bounds = json.loads(stats.column("x").histogram_json())
+        assert bounds == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_unorderable_column_degrades_gracefully(self):
+        from repro.catalog.schema import Column, TableSchema
+        from repro.types import VARCHAR
+
+        schema = TableSchema([Column("v", VARCHAR)])
+        stats = analyze_table("t", schema, [(1,), ("x",), (None,)])
+        v = stats.column("v")
+        assert (v.ndv, v.null_count) == (2, 1)
+        assert v.min_value is None and v.histogram == ()
+
+
+# -- the ANALYZE statement ----------------------------------------------------
+
+
+class TestAnalyzeStatement:
+    def test_parser_printer_round_trip(self):
+        for sql in ("ANALYZE", "ANALYZE orders"):
+            statement = parse_statement(sql)
+            assert to_sql(statement) == sql
+            assert to_sql(parse_statement(to_sql(statement))) == sql
+
+    def test_statement_kind(self):
+        from repro.telemetry import statement_kind
+
+        assert statement_kind(parse_statement("ANALYZE t")) == "analyze"
+
+    def test_analyze_one_table_returns_summary_row(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER, y VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        result = db.execute("ANALYZE t")
+        assert result.rows == [("t", 2, 2)]
+
+    def test_analyze_all_tables(self):
+        db = Database()
+        db.execute("CREATE TABLE b (x INTEGER)")
+        db.execute("CREATE TABLE a (y INTEGER)")
+        result = db.execute("ANALYZE")
+        assert [row[0] for row in result.rows] == ["a", "b"]
+
+    def test_analyze_view_is_an_error(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("CREATE VIEW v AS SELECT x FROM t")
+        with pytest.raises(CatalogError, match="ANALYZE targets tables"):
+            db.execute("ANALYZE v")
+
+    def test_analyze_missing_table_is_an_error(self):
+        with pytest.raises(SqlError):
+            Database().execute("ANALYZE nope")
+
+    def test_system_tables_expose_stats(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (2), (NULL)")
+        db.execute("ANALYZE t")
+        (table_row,) = db.execute(
+            "SELECT table_name, row_count, column_count, "
+            "mods_since_analyze, stale FROM repro_table_stats"
+        ).rows
+        assert table_row == ("t", 4, 1, 0, False)
+        (column_row,) = db.execute(
+            "SELECT table_name, column_name, dtype, ndv, null_count, "
+            "null_frac, min_value, max_value, histogram "
+            "FROM repro_column_stats"
+        ).rows
+        assert column_row == (
+            "t", "x", "INTEGER", 2, 1, 0.25, "1", "2", "[1, 2]",
+        )
+
+    def test_stats_empty_before_analyze(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        assert db.execute("SELECT * FROM repro_table_stats").rows == []
+        assert db.table_stats() == []
+
+
+# -- staleness tracking -------------------------------------------------------
+
+
+class TestStaleness:
+    def _analyzed_db(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        db.execute("ANALYZE t")
+        return db
+
+    def _mods(self, db):
+        return db.execute(
+            "SELECT mods_since_analyze, stale FROM repro_table_stats"
+        ).rows[0]
+
+    def test_dml_bumps_the_counter(self):
+        db = self._analyzed_db()
+        assert self._mods(db) == (0, False)
+        db.execute("INSERT INTO t VALUES (4), (5)")
+        assert self._mods(db) == (2, True)
+        db.execute("UPDATE t SET x = x + 1 WHERE x > 3")
+        assert self._mods(db) == (4, True)
+        db.execute("DELETE FROM t WHERE x > 4")
+        assert self._mods(db) == (6, True)
+
+    def test_truncate_counts_removed_rows(self):
+        db = self._analyzed_db()
+        db.execute("TRUNCATE TABLE t")
+        assert self._mods(db) == (3, True)
+
+    def test_reanalyze_resets_the_counter(self):
+        db = self._analyzed_db()
+        db.execute("INSERT INTO t VALUES (4)")
+        db.execute("ANALYZE t")
+        assert self._mods(db) == (0, False)
+        assert db.execute(
+            "SELECT row_count FROM repro_table_stats"
+        ).rows == [(4,)]
+
+    def test_drop_discards_stats(self):
+        db = self._analyzed_db()
+        db.execute("DROP TABLE t")
+        assert db.execute("SELECT * FROM repro_table_stats").rows == []
+
+    def test_replace_discards_stats(self):
+        db = self._analyzed_db()
+        db.execute("CREATE OR REPLACE TABLE t (y VARCHAR)")
+        assert db.execute("SELECT * FROM repro_table_stats").rows == []
+
+    def test_unanalyzed_dml_tracks_nothing(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.catalog.mods_since_analyze("t") == 0
+
+
+# -- TPC-H differential: stats vs the generator's known cardinalities --------
+
+
+class TestTpchStats:
+    def test_sf_0_001_stats_match_generator_cardinalities(self):
+        from repro.workloads.tpch import (
+            TpchConfig,
+            load_tpch,
+            table_cardinalities,
+        )
+
+        db = Database()
+        loaded = load_tpch(db, TpchConfig(sf=0.001))
+        db.execute("ANALYZE")
+        stored = {s["table"]: s for s in db.table_stats()}
+        assert set(stored) == set(loaded)
+        expected = table_cardinalities(0.001)
+        for name, count in loaded.items():
+            assert stored[name]["row_count"] == count
+            assert stored[name]["mods_since_analyze"] == 0
+        # Every table but lineitem (drawn per order) hits the spec's
+        # scaled cardinality exactly.
+        for name in ("region", "nation", "supplier", "part", "partsupp",
+                     "customer", "orders"):
+            assert stored[name]["row_count"] == expected[name]
+
+        columns = {
+            (s["table"], c["column"]): c
+            for s in stored.values()
+            for c in s["columns"]
+        }
+        # Primary keys: dense, unique, never null.
+        for table, column in (
+            ("region", "r_regionkey"),
+            ("nation", "n_nationkey"),
+            ("customer", "c_custkey"),
+            ("orders", "o_orderkey"),
+        ):
+            stats = columns[(table, column)]
+            assert stats["ndv"] == stored[table]["row_count"]
+            assert stats["null_count"] == 0
+            assert stats["min_value"] in (0, 1)
+            assert stats["max_value"] == stats["min_value"] + stats["ndv"] - 1
+        # Foreign keys land inside the referenced key space.
+        nations = stored["nation"]["row_count"]
+        n_fk = columns[("customer", "c_nationkey")]
+        assert 0 <= n_fk["min_value"] <= n_fk["max_value"] <= nations - 1
+        assert n_fk["ndv"] <= nations
+        # region is tiny and fully enumerable.
+        r_name = columns[("region", "r_name")]
+        assert r_name["ndv"] == 5
+        assert r_name["histogram"] == sorted(r_name["histogram"])
+
+    def test_orderkey_histogram_buckets_are_equi_depth(self):
+        from repro.workloads.tpch import TpchConfig, load_tpch
+
+        db = Database()
+        load_tpch(db, TpchConfig(sf=0.001))
+        db.execute("ANALYZE orders")
+        (histogram_json,) = db.execute(
+            "SELECT histogram FROM repro_column_stats "
+            "WHERE column_name = 'o_orderkey'"
+        ).rows[0]
+        bounds = json.loads(histogram_json)
+        assert len(bounds) == HISTOGRAM_BUCKETS
+        assert bounds == sorted(bounds)
+        # Dense keys starting at 1: each decile bound is exact.
+        rows = db.execute("SELECT COUNT(*) FROM orders").scalar()
+        assert bounds[-1] == rows
+        assert bounds[0] == rows // HISTOGRAM_BUCKETS

@@ -191,3 +191,95 @@ def test_top_shows_running_query():
         assert "SELECT COUNT(*) FROM big" in text
     else:
         assert "(no running queries)" in text
+
+
+# -- \analyze, \record, \watch ------------------------------------------------
+
+
+def test_analyze_command(shell):
+    sh, out = shell
+    feed(sh, "CREATE TABLE t (x INTEGER);", "INSERT INTO t VALUES (1), (2);")
+    sh.handle_meta("\\analyze t")
+    assert "analyzed t: 2 rows, 1 columns" in out.getvalue()
+    feed(sh, "SELECT table_name, row_count FROM repro_table_stats;")
+    assert "(1 rows)" in out.getvalue()
+
+
+def test_analyze_all_and_errors(shell):
+    sh, out = shell
+    sh.handle_meta("\\analyze")
+    assert "(no tables to analyze)" in out.getvalue()
+    sh.handle_meta("\\analyze missing")
+    assert "error:" in out.getvalue()
+
+
+def test_record_command_round_trip(shell, tmp_path):
+    from repro.history import read_journal
+
+    sh, out = shell
+    path = str(tmp_path / "cli.jsonl")
+    sh.handle_meta(f"\\record {path}")
+    assert f"recording to {path}" in out.getvalue()
+    feed(sh, "CREATE TABLE t (x INTEGER);", "INSERT INTO t VALUES (1);")
+    sh.handle_meta("\\record")  # status line while active
+    sh.handle_meta("\\record off")
+    assert "stopped recording" in out.getvalue()
+    _, entries = read_journal(path)
+    assert [e.kind for e in entries] == ["create_table", "insert"]
+    # Recording again after stop opens a fresh journal.
+    sh.handle_meta("\\record off")
+    assert "not recording" in out.getvalue()
+
+
+def test_record_refuses_double_start(shell, tmp_path):
+    sh, out = shell
+    sh.handle_meta(f"\\record {tmp_path / 'a.jsonl'}")
+    sh.handle_meta(f"\\record {tmp_path / 'b.jsonl'}")
+    assert "already recording" in out.getvalue()
+    sh.handle_meta("\\record off")
+
+
+def test_watch_reruns_until_interrupted(shell, monkeypatch):
+    import time as time_module
+
+    sh, out = shell
+    feed(sh, "CREATE TABLE t (x INTEGER);", "INSERT INTO t VALUES (1);")
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        if len(sleeps) >= 3:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(time_module, "sleep", fake_sleep)
+    sh.do_watch("0.5 SELECT COUNT(*) FROM t")
+    text = out.getvalue()
+    assert "-- watch #3" in text
+    assert "\\watch stopped after 3 runs" in text
+    assert sleeps == [0.5, 0.5, 0.5]
+
+
+def test_watch_default_interval_and_usage(shell, monkeypatch):
+    import time as time_module
+
+    sh, out = shell
+    feed(sh, "CREATE TABLE t (x INTEGER);")
+    monkeypatch.setattr(
+        time_module,
+        "sleep",
+        lambda s: (_ for _ in ()).throw(KeyboardInterrupt),
+    )
+    sh.do_watch("SELECT COUNT(*) FROM t")
+    assert "stopped after 1 runs" in out.getvalue()
+    sh.do_watch("")
+    assert "usage: \\watch" in out.getvalue()
+
+
+def test_help_lists_new_commands(shell):
+    sh, out = shell
+    feed(sh, "\\?")
+    text = out.getvalue()
+    assert "\\analyze" in text
+    assert "\\record" in text
+    assert "\\watch" in text
+    assert "winmagic" in text

@@ -123,7 +123,7 @@ class TestAtomicReset:
 
         def checker():
             while not stop.is_set():
-                entries, flips = store.snapshot()
+                entries, flips, _strategies = store.snapshot()
                 fingerprints = {e.fingerprint for e in entries}
                 for flip in flips:
                     if flip.fingerprint not in fingerprints:

@@ -854,3 +854,68 @@ def test_compare_tpch_rows_changed_fails(tmp_path):
     out = io.StringIO()
     assert compare_snapshots(str(old), str(new), out=out) == 1
     assert "ROWS CHANGED" in out.getvalue()
+
+
+# -- snapshot provenance (meta section) --------------------------------------
+
+
+def test_snapshot_meta_shape():
+    """snapshot_meta() carries provenance: commit, python, platform, date."""
+    import platform as platform_mod
+
+    from benchmarks.report import snapshot_meta
+
+    meta = snapshot_meta()
+    assert set(meta) == {"git_commit", "python", "platform", "schema_date"}
+    assert meta["python"] == platform_mod.python_version()
+    assert meta["platform"] == platform_mod.platform()
+    # Inside this repo's checkout the commit resolves to a 40-char sha;
+    # outside git it is None — both are valid provenance.
+    assert meta["git_commit"] is None or (
+        isinstance(meta["git_commit"], str) and len(meta["git_commit"]) == 40
+    )
+    assert len(meta["schema_date"]) == 10  # YYYY-MM-DD
+
+
+def test_compare_ignores_meta_and_tolerates_snapshots_lacking_it(tmp_path):
+    """--compare never reads meta: a new snapshot that carries one gates
+    cleanly against the committed baseline that predates the section."""
+    from benchmarks.report import compare_snapshots, snapshot_meta
+
+    baseline = "benchmarks/BENCH_2026-08-07.json"
+    with open(baseline) as handle:
+        payload = json.load(handle)
+    assert "meta" not in payload  # the committed baseline predates meta
+    payload["meta"] = snapshot_meta()
+    new = tmp_path / "fresh.json"
+    new.write_text(json.dumps(payload, default=str))
+    out = io.StringIO()
+    assert compare_snapshots(baseline, str(new), out=out) == 0
+    assert "git_commit" not in out.getvalue()
+
+
+def test_compare_meta_only_difference_is_invisible(tmp_path):
+    """Two snapshots differing only in meta (different commits) are equal."""
+    from benchmarks.report import compare_snapshots
+
+    listings = {"e1": {"wall_ms": 1.0, "rows": 3}}
+    old_payload = snapshot_payload(listings)
+    old_payload["meta"] = {
+        "git_commit": "a" * 40,
+        "python": "3.10.0",
+        "platform": "old-box",
+        "schema_date": "2026-01-01",
+    }
+    new_payload = snapshot_payload(listings)
+    new_payload["meta"] = {
+        "git_commit": "b" * 40,
+        "python": "3.12.0",
+        "platform": "new-box",
+        "schema_date": "2026-08-07",
+    }
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(old_payload))
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(new_payload))
+    out = io.StringIO()
+    assert compare_snapshots(str(old), str(new), out=out) == 0
